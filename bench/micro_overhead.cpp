@@ -1,0 +1,213 @@
+// §VI timing claims + design ablations, as google-benchmark micro-timings:
+//  - per-image cost of each input-processing defense (paper: ~20 ms/frame)
+//    vs DiffPIR restoration (paper: 1-2 s — orders of magnitude over the
+//    real-time budget);
+//  - per-frame attack costs (CAP is runtime-cheap; Auto-PGD is not);
+//  - ablations from DESIGN.md §6: Auto-PGD vs plain PGD, SimBA pixel vs
+//    DCT basis, and the two diffusion parameterizations.
+#include <benchmark/benchmark.h>
+
+#include "attacks/autopgd.h"
+#include "attacks/cap.h"
+#include "attacks/fgsm.h"
+#include "attacks/simba.h"
+#include "data/dataset.h"
+#include "defenses/diffusion.h"
+#include "defenses/preprocess.h"
+#include "models/distnet.h"
+#include "models/tiny_yolo.h"
+
+namespace {
+
+using namespace advp;
+
+// Shared fixtures (constructed once; static locals avoid re-training).
+data::DrivingFrame& frame() {
+  static data::DrivingFrame f = [] {
+    data::DrivingSceneGenerator gen;
+    Rng rng(1);
+    auto style = gen.sample_style(rng);
+    return gen.render(18.f, style, rng);
+  }();
+  return f;
+}
+
+Image& sign_image() {
+  static Image img = [] {
+    data::SignSceneGenerator gen;
+    Rng rng(2);
+    return gen.generate(rng).image;
+  }();
+  return img;
+}
+
+models::DistNet& distnet() {
+  static Rng rng(3);
+  static models::DistNet model(models::DistNetConfig{}, rng);
+  return model;
+}
+
+models::TinyYolo& detector() {
+  static Rng rng(4);
+  static models::TinyYolo model(models::TinyYoloConfig{}, rng);
+  return model;
+}
+
+attacks::GradOracle dist_oracle() {
+  return [](const Tensor& x) {
+    distnet().zero_grad();
+    auto r = distnet().prediction_grad(x);
+    return attacks::LossGrad{r.loss, std::move(r.grad)};
+  };
+}
+
+// ---- defense latency (the paper's ~20 ms vs 1-2 s DiffPIR comparison) ----
+
+void BM_Defense_MedianBlur(benchmark::State& state) {
+  defenses::MedianBlurDefense d(3);
+  for (auto _ : state) benchmark::DoNotOptimize(d.apply(sign_image()));
+}
+BENCHMARK(BM_Defense_MedianBlur)->Unit(benchmark::kMillisecond);
+
+void BM_Defense_BitDepth(benchmark::State& state) {
+  defenses::BitDepthDefense d(3);
+  for (auto _ : state) benchmark::DoNotOptimize(d.apply(sign_image()));
+}
+BENCHMARK(BM_Defense_BitDepth)->Unit(benchmark::kMillisecond);
+
+void BM_Defense_Randomization(benchmark::State& state) {
+  defenses::RandomizationDefense d(5);
+  for (auto _ : state) benchmark::DoNotOptimize(d.apply(sign_image()));
+}
+BENCHMARK(BM_Defense_Randomization)->Unit(benchmark::kMillisecond);
+
+void BM_Defense_DiffPirRestore(benchmark::State& state) {
+  static Rng rng(6);
+  static defenses::DiffusionDenoiser prior(48, 48, defenses::DdpmConfig{},
+                                           rng);
+  defenses::DiffPirParams p;
+  Rng rrng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(prior.restore(sign_image(), p, rrng));
+}
+BENCHMARK(BM_Defense_DiffPirRestore)->Iterations(5)->Unit(benchmark::kMillisecond);
+
+// ---- model inference / gradient cost ----------------------------------
+
+void BM_Model_DistNetPredict(benchmark::State& state) {
+  Tensor x = frame().image.to_batch();
+  for (auto _ : state) benchmark::DoNotOptimize(distnet().predict(x));
+}
+BENCHMARK(BM_Model_DistNetPredict)->Unit(benchmark::kMillisecond);
+
+void BM_Model_DetectorDetect(benchmark::State& state) {
+  Tensor x = sign_image().to_batch();
+  for (auto _ : state) benchmark::DoNotOptimize(detector().detect(x));
+}
+BENCHMARK(BM_Model_DetectorDetect)->Unit(benchmark::kMillisecond);
+
+void BM_Model_DistNetInputGrad(benchmark::State& state) {
+  Tensor x = frame().image.to_batch();
+  for (auto _ : state) {
+    distnet().zero_grad();
+    benchmark::DoNotOptimize(distnet().prediction_grad(x));
+  }
+}
+BENCHMARK(BM_Model_DistNetInputGrad)->Unit(benchmark::kMillisecond);
+
+// ---- attack per-frame cost ------------------------------------------------
+
+void BM_Attack_Fgsm(benchmark::State& state) {
+  Tensor x = frame().image.to_batch();
+  auto oracle = dist_oracle();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(attacks::fgsm(x, {0.1f}, oracle));
+}
+BENCHMARK(BM_Attack_Fgsm)->Unit(benchmark::kMillisecond);
+
+void BM_Attack_AutoPgd(benchmark::State& state) {
+  Tensor x = frame().image.to_batch();
+  auto oracle = dist_oracle();
+  attacks::AutoPgdParams p;
+  p.steps = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(attacks::auto_pgd(x, p, oracle));
+}
+BENCHMARK(BM_Attack_AutoPgd)->Arg(10)->Arg(20)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_Attack_PlainPgd(benchmark::State& state) {
+  Tensor x = frame().image.to_batch();
+  auto oracle = dist_oracle();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(attacks::plain_pgd(
+        x, 0.1f, 0.02f, static_cast<int>(state.range(0)), oracle));
+}
+BENCHMARK(BM_Attack_PlainPgd)->Arg(10)->Arg(20)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_Attack_CapPerFrame(benchmark::State& state) {
+  Tensor x = frame().image.to_batch();
+  auto oracle = dist_oracle();
+  attacks::CapAttack cap;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        cap.attack_frame(x, frame().lead_box, oracle));
+}
+BENCHMARK(BM_Attack_CapPerFrame)->Unit(benchmark::kMillisecond);
+
+void BM_Attack_SimbaPixel(benchmark::State& state) {
+  Tensor x = sign_image().to_batch();
+  auto score = [](const Tensor& xx) {
+    return detector().objectness_score(xx, {{Box{10, 10, 16, 16}}});
+  };
+  attacks::SimbaParams p;
+  p.max_queries = 50;
+  p.basis = attacks::SimbaBasis::kPixel;
+  Rng rng(8);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(attacks::simba(x, p, score, rng));
+}
+BENCHMARK(BM_Attack_SimbaPixel)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_Attack_SimbaDct(benchmark::State& state) {
+  Tensor x = sign_image().to_batch();
+  auto score = [](const Tensor& xx) {
+    return detector().objectness_score(xx, {{Box{10, 10, 16, 16}}});
+  };
+  attacks::SimbaParams p;
+  p.max_queries = 50;
+  p.basis = attacks::SimbaBasis::kDct;
+  Rng rng(9);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(attacks::simba(x, p, score, rng));
+}
+BENCHMARK(BM_Attack_SimbaDct)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+// ---- diffusion parameterization ablation ------------------------------
+
+void BM_Ddpm_TrainStep_EpsParam(benchmark::State& state) {
+  Rng rng(10);
+  defenses::DdpmConfig cfg;
+  cfg.predict_x0 = false;
+  defenses::DiffusionDenoiser dd(48, 96, cfg, rng);
+  std::vector<Image> imgs = {frame().image, frame().image};
+  Rng trng(11);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dd.train(imgs, 1, 2, 1e-3f, trng));
+}
+BENCHMARK(BM_Ddpm_TrainStep_EpsParam)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_Ddpm_TrainStep_X0Param(benchmark::State& state) {
+  Rng rng(12);
+  defenses::DdpmConfig cfg;
+  cfg.predict_x0 = true;
+  defenses::DiffusionDenoiser dd(48, 96, cfg, rng);
+  std::vector<Image> imgs = {frame().image, frame().image};
+  Rng trng(13);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dd.train(imgs, 1, 2, 1e-3f, trng));
+}
+BENCHMARK(BM_Ddpm_TrainStep_X0Param)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Table I — average relative-distance prediction error (meters) per true
+// distance range under each attack, all perturbations confined to the
+// lead-vehicle region (paper §V-B1).
+//
+// Paper reference rows (m):              [0,20] [20,40] [40,60] [60,80]
+//   Gaussian Noise                        0.30   0.01    0.03    0.14
+//   FGSM                                 18.34   4.25    3.92    4.65
+//   Auto-PGD                             34.45   8.43    8.11    8.49
+//   CAP-Attack                           29.62   6.73    6.42    6.83
+// Expected shape: Auto-PGD > CAP > FGSM >> Gaussian; worst at close range.
+#include "bench_common.h"
+
+int main() {
+  using namespace advp;
+  using namespace advp::bench;
+  std::printf("=== Table I: avg. distance error (m) under attack ===\n");
+
+  eval::Harness harness;
+  models::DistNet& model = harness.distnet();
+
+  eval::Table t({"Attack Method", "[0,20]", "[20,40]", "[40,60]", "[60,80]"});
+  std::uint64_t seed = 500;
+  for (auto kind : core_attacks()) {
+    auto ev = harness.evaluate_distance_task(
+        model, drive_attack(kind, model, seed++), nullptr);
+    t.add_row({defenses::attack_name(kind), m2(ev.bin_means[0]),
+               m2(ev.bin_means[1]), m2(ev.bin_means[2]), m2(ev.bin_means[3])});
+  }
+  t.print(std::cout);
+  std::printf(
+      "shape check: strongest attack should be Auto-PGD, weakest Gaussian; "
+      "errors largest in [0,20] m.\n");
+  return 0;
+}

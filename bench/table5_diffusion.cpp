@@ -1,0 +1,90 @@
+// Table V — diffusion-model cleaning (DiffPIR, eq. (9)): a DDPM prior per
+// image domain restores attacked inputs before inference.
+//
+// Paper shape: strong recovery on both tasks (Auto-PGD close-range error
+// collapses from ~34 m to ~5 m; detection precision > 99% everywhere);
+// long-range distance errors turn slightly *negative* (the generative
+// prior over-corrects sparse far-vehicle pixels); on the weak Gaussian
+// attack the restoration itself adds small errors.
+#include "bench_common.h"
+#include "defenses/diffusion.h"
+#include "nn/serialize.h"
+
+using namespace advp;
+using namespace advp::bench;
+
+int main() {
+  std::printf("=== Table V: performance after diffusion model cleaning ===\n");
+  eval::Harness harness;
+  models::TinyYolo& det = harness.detector();
+  models::DistNet& dist = harness.distnet();
+  const auto cache_dir = harness.config().cache_dir;
+
+  // Domain priors (trained on clean data only — the defense never sees an
+  // attack), cached like the base models.
+  defenses::DdpmConfig dcfg;
+  Rng rng_a(11), rng_b(12);
+  defenses::DiffusionDenoiser sign_prior(48, 48, dcfg, rng_a);
+  defenses::DiffusionDenoiser drive_prior(48, 96, dcfg, rng_b);
+  models::cached_weights(cache_dir, "ddpm_sign_v1", sign_prior.params(), [&] {
+    std::printf("[table5] training sign-domain DDPM...\n");
+    std::vector<Image> imgs;
+    for (const auto& s : harness.sign_train().scenes) imgs.push_back(s.image);
+    Rng trng(13);
+    sign_prior.train(imgs, 50, 16, 2e-3f, trng);
+  });
+  models::cached_weights(cache_dir, "ddpm_drive_v2", drive_prior.params(),
+                         [&] {
+    std::printf("[table5] training driving-domain DDPM...\n");
+    std::vector<Image> imgs;
+    for (const auto& f : harness.drive_train().frames) imgs.push_back(f.image);
+    Rng trng(14);
+    drive_prior.train(imgs, 25, 16, 2e-3f, trng);
+  });
+
+  defenses::DiffPirParams rp;
+  rp.steps = 5;  // ablation C: quality saturates by ~4-8 steps; keeps Table V tractable
+  // Driving frames carry their signal in a handful of far-vehicle pixels:
+  // use a shallower lift and a more data-faithful proximal weight so the
+  // restoration does not erase them.
+  defenses::DiffPirParams rp_drive = rp;
+  rp_drive.start_t = 18;
+  rp_drive.lambda = 3.f;
+  auto rng_restore = std::make_shared<Rng>(15);
+  eval::ImageTransform sign_clean = [&, rng_restore](const Image& img) {
+    return sign_prior.restore(img, rp, *rng_restore);
+  };
+  eval::ImageTransform drive_clean = [&, rng_restore](const Image& img) {
+    return drive_prior.restore(img, rp_drive, *rng_restore);
+  };
+
+  eval::Table t({"Attack", "[0,20]", "[20,40]", "[40,60]", "[60,80]",
+                 "mAP50", "Prec.", "Recall"});
+  std::uint64_t seed = 7700;
+  for (auto kind : all_attacks()) {
+    auto det_ev = harness.evaluate_sign_task(
+        det, attacked_sign_set(harness.sign_test(), kind, det, seed),
+        nullptr, sign_clean);
+    if (kind == defenses::AttackKind::kSimba) {
+      // Paper leaves SimBA's regression cells blank.
+      t.add_row({defenses::attack_name(kind), "-", "-", "-", "-",
+                 pct(det_ev.map50), pct(det_ev.precision),
+                 pct(det_ev.recall)});
+    } else {
+      DriveAttackCache cache =
+          build_drive_cache(harness, dist, drive_attack(kind, dist, seed + 1));
+      auto dist_ev = eval_drive_cache(dist, cache, drive_clean);
+      t.add_row({defenses::attack_name(kind), m2(dist_ev.bin_means[0]),
+                 m2(dist_ev.bin_means[1]), m2(dist_ev.bin_means[2]),
+                 m2(dist_ev.bin_means[3]), pct(det_ev.map50),
+                 pct(det_ev.precision), pct(det_ev.recall)});
+    }
+    seed += 10;
+  }
+  t.print(std::cout);
+  std::printf(
+      "shape check: close-range Auto-PGD error collapses vs Table I; "
+      "far-range errors drift slightly negative; detection precision "
+      "recovers to ~99%%.\n");
+  return 0;
+}

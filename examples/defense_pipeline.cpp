@@ -1,0 +1,119 @@
+// Defense pipeline tour: one attacked stop-sign test set, every defense
+// family from the paper applied to it side by side —
+// input processing (median blur / bit depth / randomization), adversarial
+// fine-tuning, contrastive pretraining, and DiffPIR restoration.
+//
+// A compact, end-to-end version of Tables II-V on a reduced budget.
+#include <cstdio>
+#include <iostream>
+
+#include "data/dataset.h"
+#include "defenses/adv_train.h"
+#include "defenses/contrastive.h"
+#include "defenses/diffusion.h"
+#include "defenses/preprocess.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "models/zoo.h"
+
+using namespace advp;
+
+namespace {
+
+eval::DetectionMetrics score(models::TinyYolo& model,
+                             const data::SignDataset& ds,
+                             const defenses::InputDefense* defense) {
+  std::vector<eval::DetectionRecord> records;
+  for (const auto& scene : ds.scenes) {
+    Image img = defense ? defense->apply(scene.image) : scene.image;
+    eval::DetectionRecord rec;
+    rec.ground_truth = scene.stop_signs;
+    rec.detections = model.detect(img.to_batch(), 0.1f)[0];
+    records.push_back(std::move(rec));
+  }
+  return eval::evaluate_detections(records, 0.5f, 0.5f);
+}
+
+std::string pct(float v) { return eval::Table::num(100.f * v, 1); }
+
+}  // namespace
+
+int main() {
+  std::printf("training base detector (~2 min)...\n");
+  auto train = data::make_sign_dataset(240, 31);
+  auto test = data::make_sign_dataset(40, 32);
+  Rng rng(33);
+  models::TinyYolo base(models::TinyYoloConfig{}, rng);
+  models::TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.lr = 2e-3f;
+  models::train_detector(base, train, cfg);
+
+  std::printf("attacking the test set with FGSM...\n");
+  auto adv_test = defenses::make_adversarial_sign_dataset(
+      test, defenses::AttackKind::kFgsm, base, 34);
+
+  eval::Table t({"defense", "mAP50 (%)", "Precision (%)", "Recall (%)"});
+  auto clean = score(base, test, nullptr);
+  t.add_row({"(clean, no attack)", pct(clean.map50), pct(clean.precision),
+             pct(clean.recall)});
+  auto none = score(base, adv_test, nullptr);
+  t.add_row({"no defense", pct(none.map50), pct(none.precision),
+             pct(none.recall)});
+
+  // Input processing.
+  for (const auto& d : defenses::table2_defenses(35)) {
+    if (d->name() == "None") continue;
+    auto m = score(base, adv_test, d.get());
+    t.add_row({d->name(), pct(m.map50), pct(m.precision), pct(m.recall)});
+  }
+
+  // Adversarial fine-tuning on FGSM examples.
+  std::printf("adversarial fine-tuning...\n");
+  auto adv_train_set = defenses::make_adversarial_sign_dataset(
+      train, defenses::AttackKind::kFgsm, base, 36);
+  models::TrainConfig ft;
+  ft.epochs = 8;
+  ft.lr = 1e-3f;
+  defenses::adversarial_train_detector(base, adv_train_set, ft, &train);
+  auto at = score(base, adv_test, nullptr);
+  t.add_row({"adversarial training", pct(at.map50), pct(at.precision),
+             pct(at.recall)});
+
+  // Contrastive-pretrained model (fresh weights).
+  std::printf("contrastive pretraining + fine-tune...\n");
+  Rng crng(37);
+  models::TinyYolo contrastive_model(models::TinyYoloConfig{}, crng);
+  defenses::ContrastiveConfig ccfg;
+  ccfg.epochs = 4;
+  defenses::contrastive_train_detector(contrastive_model, train, ccfg, cfg);
+  auto cl = score(contrastive_model, adv_test, nullptr);
+  t.add_row({"contrastive learning", pct(cl.map50), pct(cl.precision),
+             pct(cl.recall)});
+
+  // DiffPIR restoration in front of the (adversarially trained) model.
+  std::printf("training DDPM prior + DiffPIR restoration...\n");
+  defenses::DdpmConfig dcfg;
+  Rng drng(38);
+  defenses::DiffusionDenoiser prior(48, 48, dcfg, drng);
+  std::vector<Image> imgs;
+  for (const auto& s : train.scenes) imgs.push_back(s.image);
+  Rng trng(39);
+  prior.train(imgs, 30, 16, 2e-3f, trng);
+  defenses::DiffPirParams rp;
+  Rng rrng(40);
+  std::vector<eval::DetectionRecord> records;
+  for (const auto& scene : adv_test.scenes) {
+    Image img = prior.restore(scene.image, rp, rrng);
+    eval::DetectionRecord rec;
+    rec.ground_truth = scene.stop_signs;
+    rec.detections = base.detect(img.to_batch(), 0.1f)[0];
+    records.push_back(std::move(rec));
+  }
+  auto dm = eval::evaluate_detections(records, 0.5f, 0.5f);
+  t.add_row({"diffusion (DiffPIR)", pct(dm.map50), pct(dm.precision),
+             pct(dm.recall)});
+
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Umbrella header: the public API of the advper library.
+//
+// Pull in exactly what you need in production code; this header exists for
+// quick starts, examples, and exploratory use.
+//
+//   #include "advper.h"
+//   using namespace advp;
+#pragma once
+
+// Core substrate
+#include "core/check.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+
+// Tensors and neural networks
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/optim.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+// Images and synthetic data
+#include "data/dataset.h"
+#include "data/driving_scene.h"
+#include "data/sign_scene.h"
+#include "image/dct.h"
+#include "image/draw.h"
+#include "image/image.h"
+#include "image/proc.h"
+
+// Perception models
+#include "models/distnet.h"
+#include "models/tiny_yolo.h"
+#include "models/zoo.h"
+
+// Attacks (paper §III)
+#include "attacks/attack.h"
+#include "attacks/autopgd.h"
+#include "attacks/cap.h"
+#include "attacks/fgsm.h"
+#include "attacks/gaussian.h"
+#include "attacks/rp2.h"
+#include "attacks/simba.h"
+
+// Defenses (paper §IV) and runtime monitoring
+#include "defenses/adv_train.h"
+#include "defenses/contrastive.h"
+#include "defenses/diffusion.h"
+#include "defenses/ensemble.h"
+#include "defenses/preprocess.h"
+
+// Closed-loop ACC simulation
+#include "sim/acc_sim.h"
+#include "sim/scenarios.h"
+
+// Evaluation
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "eval/table.h"

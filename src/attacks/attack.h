@@ -1,0 +1,47 @@
+// Common attack vocabulary.
+//
+// Attacks operate on a batch-of-one image tensor x in [0,1] (shape
+// [1,3,H,W]) and come in two flavours matching the paper's taxonomy:
+//  - white-box: consume a GradOracle returning a loss J and dJ/dx; the
+//    attack ASCENDS J (eqs. (2), (3), (6), (7));
+//  - black-box: consume a ScoreOracle returning a scalar the attack
+//    DESCENDS (SimBA's output-probability objective, §III-D).
+//
+// Every attack accepts an optional {0,1} mask of the same shape confining
+// the perturbation (the paper's Table I setup perturbs only the region of
+// the leading vehicle; RP2 constrains to the sign surface via eq. (6)'s
+// M_x). An empty mask means "whole image".
+#pragma once
+
+#include <functional>
+
+#include "image/image.h"
+#include "tensor/tensor.h"
+
+namespace advp::attacks {
+
+struct LossGrad {
+  float loss = 0.f;
+  Tensor grad;
+};
+
+/// White-box oracle: loss to ascend + gradient w.r.t. x.
+using GradOracle = std::function<LossGrad(const Tensor& x)>;
+/// Black-box oracle: scalar score to descend (no gradients).
+using ScoreOracle = std::function<float(const Tensor& x)>;
+
+/// {0,1} mask tensor of shape [1,3,h,w] covering `roi` (clipped to bounds).
+Tensor make_box_mask(int h, int w, const Box& roi);
+
+/// Zeroes masked-out entries of `t` in place (no-op for an empty mask).
+void apply_mask(Tensor& t, const Tensor& mask);
+
+/// Projects x onto the L-inf ball of radius eps around x0, intersected
+/// with [0,1]; outside the mask x is reset to x0 exactly.
+void project_linf(Tensor& x, const Tensor& x0, float eps, const Tensor& mask);
+
+/// Projects x onto the L2 ball of radius eps around x0 (then [0,1]);
+/// outside the mask x is reset to x0 exactly.
+void project_l2(Tensor& x, const Tensor& x0, float eps, const Tensor& mask);
+
+}  // namespace advp::attacks

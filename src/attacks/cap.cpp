@@ -1,0 +1,121 @@
+#include "attacks/cap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/check.h"
+
+namespace advp::attacks {
+
+Tensor resize_chw(const Tensor& chw, int new_h, int new_w) {
+  ADVP_CHECK(chw.rank() == 3 && new_h > 0 && new_w > 0);
+  const int c = chw.dim(0), h = chw.dim(1), w = chw.dim(2);
+  Tensor out({c, new_h, new_w});
+  const float sy = static_cast<float>(h) / static_cast<float>(new_h);
+  const float sx = static_cast<float>(w) / static_cast<float>(new_w);
+  for (int cc = 0; cc < c; ++cc)
+    for (int y = 0; y < new_h; ++y)
+      for (int x = 0; x < new_w; ++x) {
+        const float fy = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
+        const float fx = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
+        const int y0 = std::clamp(static_cast<int>(std::floor(fy)), 0, h - 1);
+        const int x0 = std::clamp(static_cast<int>(std::floor(fx)), 0, w - 1);
+        const int y1 = std::min(y0 + 1, h - 1);
+        const int x1 = std::min(x0 + 1, w - 1);
+        const float ty = std::clamp(fy - static_cast<float>(y0), 0.f, 1.f);
+        const float tx = std::clamp(fx - static_cast<float>(x0), 0.f, 1.f);
+        const float top = chw.at(cc, y0, x0) * (1.f - tx) + chw.at(cc, y0, x1) * tx;
+        const float bot = chw.at(cc, y1, x0) * (1.f - tx) + chw.at(cc, y1, x1) * tx;
+        out.at(cc, y, x) = top * (1.f - ty) + bot * ty;
+      }
+  return out;
+}
+
+CapAttack::CapAttack(CapParams params) : params_(params) { reset(); }
+
+void CapAttack::reset() {
+  patch_ = Tensor({3, params_.patch_res, params_.patch_res});
+}
+
+namespace {
+
+struct BboxPx {
+  int x0, y0, x1, y1;  // half-open
+  int w() const { return x1 - x0; }
+  int h() const { return y1 - y0; }
+};
+
+BboxPx clip_box(const Box& b, int img_h, int img_w) {
+  BboxPx r;
+  r.x0 = std::clamp(static_cast<int>(std::floor(b.x)), 0, img_w - 1);
+  r.y0 = std::clamp(static_cast<int>(std::floor(b.y)), 0, img_h - 1);
+  r.x1 = std::clamp(static_cast<int>(std::ceil(b.right())), r.x0 + 1, img_w);
+  r.y1 = std::clamp(static_cast<int>(std::ceil(b.bottom())), r.y0 + 1, img_h);
+  return r;
+}
+
+}  // namespace
+
+Tensor CapAttack::attack_frame(const Tensor& frame, const Box& bbox,
+                               const GradOracle& oracle) {
+  ADVP_CHECK(frame.rank() == 4 && frame.dim(0) == 1 && frame.dim(1) == 3);
+  const int img_h = frame.dim(2), img_w = frame.dim(3);
+  const BboxPx roi = clip_box(bbox, img_h, img_w);
+
+  // 1. Inherit: warp the stored patch to the current bbox size.
+  Tensor patch_px = resize_chw(patch_, roi.h(), roi.w());
+
+  auto compose = [&](const Tensor& p) {
+    Tensor x = frame;
+    for (int c = 0; c < 3; ++c)
+      for (int y = 0; y < roi.h(); ++y)
+        for (int xx = 0; xx < roi.w(); ++xx)
+          x.at(0, c, roi.y0 + y, roi.x0 + xx) += p.at(c, y, xx);
+    x.clamp(0.f, 1.f);
+    return x;
+  };
+
+  for (int it = 0; it < params_.steps_per_frame; ++it) {
+    Tensor x_adv = compose(patch_px);
+    LossGrad lg = oracle(x_adv);
+
+    // 2. Attribution: per-pixel saliency inside the bbox (channel-summed
+    // |grad|); keep the top fraction.
+    const int n_px = roi.h() * roi.w();
+    std::vector<float> sal(static_cast<std::size_t>(n_px), 0.f);
+    for (int y = 0; y < roi.h(); ++y)
+      for (int xx = 0; xx < roi.w(); ++xx) {
+        float s = 0.f;
+        for (int c = 0; c < 3; ++c)
+          s += std::fabs(lg.grad.at(0, c, roi.y0 + y, roi.x0 + xx));
+        sal[static_cast<std::size_t>(y) * roi.w() + xx] = s;
+      }
+    const int keep = std::max(1, static_cast<int>(params_.attrib_fraction *
+                                                  static_cast<float>(n_px)));
+    std::vector<float> sorted = sal;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + (n_px - keep), sorted.end());
+    const float thresh = sorted[static_cast<std::size_t>(n_px - keep)];
+
+    // 3. Masked sign-gradient ascent on the patch.
+    for (int y = 0; y < roi.h(); ++y)
+      for (int xx = 0; xx < roi.w(); ++xx) {
+        if (sal[static_cast<std::size_t>(y) * roi.w() + xx] < thresh) continue;
+        for (int c = 0; c < 3; ++c) {
+          const float g = lg.grad.at(0, c, roi.y0 + y, roi.x0 + xx);
+          float& p = patch_px.at(c, y, xx);
+          p += params_.step * (g > 0.f ? 1.f : (g < 0.f ? -1.f : 0.f));
+          p = std::clamp(p, -params_.eps, params_.eps);
+        }
+      }
+  }
+
+  // 4. Store back in normalized patch space for the next frame.
+  patch_ = resize_chw(patch_px, params_.patch_res, params_.patch_res);
+  patch_.clamp(-params_.eps, params_.eps);
+
+  return compose(patch_px);
+}
+
+}  // namespace advp::attacks

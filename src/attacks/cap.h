@@ -1,0 +1,53 @@
+// CAP-Attack (paper eq. (7); Zhou et al., ASIA CCS 2025): runtime stealthy
+// adversarial patch against DNN-based ACC distance prediction.
+//
+// Unlike the offline attacks, CAP maintains a patch across frames:
+//  1. the patch lives in a normalized patch-space and is warped to the
+//     current lead-vehicle bounding box each frame (inheritance under
+//     displacement and scale change, §III-E2);
+//  2. an attribution mechanism keeps only the top-q fraction of
+//     bounding-box pixels by |d(prediction)/d(pixel)|, concentrating the
+//     budget where the model is most sensitive (stealth + compute);
+//  3. one (or few) gradient step(s) per frame — cheap enough to run in the
+//     camera loop.
+#pragma once
+
+#include "attacks/attack.h"
+
+namespace advp::attacks {
+
+struct CapParams {
+  int patch_res = 16;        ///< normalized patch resolution (square)
+  float eps = 0.25f;         ///< L-inf bound on the patch
+  float step = 0.04f;        ///< per-frame sign-gradient step
+  float attrib_fraction = 0.35f;  ///< fraction of bbox pixels updated
+  int steps_per_frame = 2;
+};
+
+class CapAttack {
+ public:
+  explicit CapAttack(CapParams params = {});
+
+  /// Perturbs one frame. `bbox` is the current lead-vehicle box; `oracle`
+  /// returns the loss to ascend (e.g. predicted distance) and its input
+  /// gradient. Returns the adversarial frame; internal patch state is
+  /// updated for the next call.
+  Tensor attack_frame(const Tensor& frame, const Box& bbox,
+                      const GradOracle& oracle);
+
+  /// Forgets the accumulated patch (new drive / new lead vehicle).
+  void reset();
+
+  const Tensor& patch() const { return patch_; }
+  const CapParams& params() const { return params_; }
+
+ private:
+  CapParams params_;
+  Tensor patch_;  ///< [3, patch_res, patch_res] in [-eps, eps]
+};
+
+/// Bilinear resize of a CHW tensor (values may be negative — used for
+/// patch warping, unlike image resize which assumes [0,1]).
+Tensor resize_chw(const Tensor& chw, int new_h, int new_w);
+
+}  // namespace advp::attacks

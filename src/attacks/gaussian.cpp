@@ -1,0 +1,15 @@
+#include "attacks/gaussian.h"
+
+namespace advp::attacks {
+
+Tensor gaussian_noise_attack(const Tensor& x, const GaussianParams& params,
+                             Rng& rng, const Tensor& mask) {
+  Tensor noise = Tensor::randn(x.shape(), rng, params.sigma);
+  apply_mask(noise, mask);
+  Tensor adv = x;
+  adv += noise;
+  adv.clamp(0.f, 1.f);
+  return adv;
+}
+
+}  // namespace advp::attacks

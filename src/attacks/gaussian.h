@@ -1,0 +1,19 @@
+// Gaussian-noise attack (paper eq. (1)): x_adv = x + eps, eps ~ N(0, s^2).
+// Not model-aware — the paper's weakest baseline, standing in for sensor
+// degradation (night / fog / rain).
+#pragma once
+
+#include "attacks/attack.h"
+#include "core/rng.h"
+
+namespace advp::attacks {
+
+struct GaussianParams {
+  float sigma = 0.08f;
+};
+
+/// Adds masked i.i.d. Gaussian noise and clamps to [0,1].
+Tensor gaussian_noise_attack(const Tensor& x, const GaussianParams& params,
+                             Rng& rng, const Tensor& mask = Tensor());
+
+}  // namespace advp::attacks

@@ -1,0 +1,51 @@
+// Robust Physical Perturbations, RP2 (paper eq. (6); Eykholt et al. 2018).
+//
+// Optimizes a surface-confined perturbation M_x . delta that stays
+// adversarial across environmental variation:
+//   argmax_delta  E_{T}[ J(f(T(x + M.delta)), y*) ]
+//                 - lambda ||M.delta||_2^2  -  w_nps * NPS(delta)
+// with T drawn from pixel-aligned environment transforms (translation,
+// lighting gain/bias, sensor noise) so the expectation-over-transforms
+// gradient is exact, and NPS the non-printability score against a small
+// printable-color palette.
+#pragma once
+
+#include <vector>
+
+#include "attacks/attack.h"
+#include "core/rng.h"
+#include "image/draw.h"
+
+namespace advp::attacks {
+
+struct Rp2Params {
+  int steps = 40;
+  float lr = 0.03f;          ///< Adam step on delta
+  float lambda_reg = 0.02f;  ///< eq. (6)'s lambda (L2 on the masked patch)
+  float nps_weight = 0.01f;
+  int n_transforms = 4;      ///< EOT samples per step
+  int max_shift = 2;         ///< translation range (pixels)
+  float gain_lo = 0.8f, gain_hi = 1.2f;
+  float noise_sigma = 0.02f;
+  float delta_max = 0.5f;    ///< per-pixel clamp on delta
+};
+
+/// Default printable palette (approximate printer primaries + grays).
+std::vector<Color> printable_palette();
+
+/// Non-printability score: mean squared distance of each perturbed pixel
+/// (inside the mask) to the nearest palette color.
+float nps_score(const Tensor& x_adv, const Tensor& mask,
+                const std::vector<Color>& palette);
+
+struct Rp2Result {
+  Tensor x_adv;
+  float final_objective = 0.f;  ///< EOT loss at the last step
+  float nps = 0.f;
+};
+
+/// `mask` (required) confines delta to the sign/vehicle surface.
+Rp2Result rp2(const Tensor& x, const Tensor& mask, const Rp2Params& params,
+              const GradOracle& oracle, Rng& rng);
+
+}  // namespace advp::attacks

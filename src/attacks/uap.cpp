@@ -1,0 +1,55 @@
+#include "attacks/uap.h"
+
+#include "core/check.h"
+
+namespace advp::attacks {
+
+UapResult universal_perturbation(
+    std::size_t corpus_size,
+    const std::function<Tensor(std::size_t)>& example,
+    const std::function<GradOracle(std::size_t)>& loss_grad_for,
+    const UapParams& params, Rng& rng) {
+  ADVP_CHECK(corpus_size > 0);
+  ADVP_CHECK(params.eps > 0.f && params.step > 0.f && params.epochs >= 1);
+
+  Tensor first = example(0);
+  ADVP_CHECK(first.rank() == 4 && first.dim(0) == 1);
+  UapResult res;
+  res.delta = Tensor(first.shape());
+
+  // Baseline mean loss over the corpus.
+  double before = 0.0;
+  for (std::size_t i = 0; i < corpus_size; ++i)
+    before += loss_grad_for(i)(example(i)).loss;
+  res.mean_loss_before = static_cast<float>(before / corpus_size);
+
+  for (int epoch = 0; epoch < params.epochs; ++epoch) {
+    auto order = rng.permutation(corpus_size);
+    for (std::size_t i : order) {
+      Tensor x_adv = apply_uap(example(i), res.delta);
+      LossGrad lg = loss_grad_for(i)(x_adv);
+      // Sign step on the shared delta, then L-inf projection.
+      for (std::size_t k = 0; k < res.delta.numel(); ++k) {
+        const float g = lg.grad[k];
+        res.delta[k] += params.step * (g > 0.f ? 1.f : (g < 0.f ? -1.f : 0.f));
+      }
+      res.delta.clamp(-params.eps, params.eps);
+    }
+  }
+
+  double after = 0.0;
+  for (std::size_t i = 0; i < corpus_size; ++i)
+    after += loss_grad_for(i)(apply_uap(example(i), res.delta)).loss;
+  res.mean_loss_after = static_cast<float>(after / corpus_size);
+  return res;
+}
+
+Tensor apply_uap(const Tensor& x, const Tensor& delta) {
+  ADVP_CHECK_MSG(x.same_shape(delta), "apply_uap: shape mismatch");
+  Tensor adv = x;
+  adv += delta;
+  adv.clamp(0.f, 1.f);
+  return adv;
+}
+
+}  // namespace advp::attacks

@@ -1,0 +1,45 @@
+// Universal Adversarial Perturbation (Moosavi-Dezfooli et al., CVPR'17) —
+// the attack family behind the paper's related-work defense citation [52]
+// (perturbation rectifying networks defend exactly against these).
+//
+// One image-agnostic perturbation delta is optimized over a whole dataset
+// so that x + delta is adversarial for *most* inputs: sign-gradient
+// epochs over the corpus with an L-inf projection after every step.
+// Unlike per-image attacks it needs no online optimization at deployment,
+// which is what makes it physically interesting (one printed sticker
+// works everywhere).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "attacks/attack.h"
+#include "core/rng.h"
+
+namespace advp::attacks {
+
+struct UapParams {
+  float eps = 0.06f;   ///< L-inf bound on the universal perturbation
+  float step = 0.01f;  ///< per-example sign step
+  int epochs = 3;      ///< passes over the corpus
+};
+
+struct UapResult {
+  Tensor delta;        ///< [1,3,H,W], ||delta||_inf <= eps
+  float mean_loss_before = 0.f;
+  float mean_loss_after = 0.f;
+};
+
+/// `loss_grad_for(i)` must return the white-box oracle for corpus item i
+/// evaluated at an arbitrary input (the attack ascends each item's loss).
+/// `example(i)` returns item i's clean image tensor [1,3,H,W].
+UapResult universal_perturbation(
+    std::size_t corpus_size,
+    const std::function<Tensor(std::size_t)>& example,
+    const std::function<GradOracle(std::size_t)>& loss_grad_for,
+    const UapParams& params, Rng& rng);
+
+/// Applies a universal delta to an image tensor (clamped).
+Tensor apply_uap(const Tensor& x, const Tensor& delta);
+
+}  // namespace advp::attacks

@@ -1,0 +1,52 @@
+// Lightweight precondition / invariant checking.
+//
+// ADVP_CHECK is always on (these guard API misuse, not hot inner loops);
+// ADVP_DCHECK compiles out in release builds and is meant for per-element
+// loop invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace advp {
+
+/// Error thrown on violated preconditions anywhere in the library.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ADVP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace advp
+
+#define ADVP_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::advp::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define ADVP_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream os_;                                         \
+      os_ << msg;                                                     \
+      ::advp::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                   os_.str());                        \
+    }                                                                 \
+  } while (0)
+
+#ifndef NDEBUG
+#define ADVP_DCHECK(expr) ADVP_CHECK(expr)
+#else
+#define ADVP_DCHECK(expr) ((void)0)
+#endif

@@ -1,0 +1,52 @@
+#include "core/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace advp {
+
+std::size_t hardware_workers() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = std::min(hardware_workers(), n);
+  if (workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{begin};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto work = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t t = 0; t + 1 < workers; ++t) threads.emplace_back(work);
+  work();
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace advp

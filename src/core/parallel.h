@@ -1,0 +1,22 @@
+// Minimal data-parallel loop helper.
+//
+// On a multi-core host, `parallel_for` splits [begin, end) across a small
+// pool of std::jthread workers; on a single-core host it degenerates to a
+// serial loop with no thread overhead. Bodies must not throw across the
+// parallel boundary — exceptions are captured and rethrown on the caller.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace advp {
+
+/// Number of worker threads parallel_for will use (>= 1).
+std::size_t hardware_workers();
+
+/// Runs body(i) for each i in [begin, end), possibly concurrently.
+/// The body must be safe to run concurrently for distinct i.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace advp

@@ -1,0 +1,69 @@
+#include "core/rng.h"
+
+#include "core/check.h"
+
+namespace advp {
+
+namespace {
+// SplitMix64 finalizer: decorrelates derived seeds.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng Rng::split() {
+  ++split_count_;
+  return Rng(mix(seed_ ^ mix(split_count_)));
+}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  ADVP_CHECK(lo <= hi);
+  std::uniform_int_distribution<int> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::gaussian(double sigma) {
+  std::normal_distribution<double> d(0.0, sigma);
+  return d(engine_);
+}
+
+bool Rng::coin(double p) {
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  ADVP_CHECK(n > 0);
+  std::uniform_int_distribution<std::size_t> d(0, n - 1);
+  return d(engine_);
+}
+
+int Rng::sign() { return coin() ? 1 : -1; }
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    std::size_t j = index(i);
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  ADVP_CHECK(k <= n);
+  auto perm = permutation(n);
+  perm.resize(k);
+  return perm;
+}
+
+}  // namespace advp

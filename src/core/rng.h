@@ -1,0 +1,51 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component in the library (data generators, attacks,
+// defenses, training) takes an explicit Rng so experiments are exactly
+// reproducible from a single seed. `Rng::split` derives an independent
+// child stream, so parallel consumers never share state.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace advp {
+
+/// Seeded PRNG wrapper around std::mt19937_64 with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedULL) : engine_(seed), seed_(seed) {}
+
+  /// Derives an independent child stream; deterministic in (seed, call #).
+  Rng split();
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+  /// Zero-mean Gaussian with standard deviation `sigma`.
+  double gaussian(double sigma = 1.0);
+  /// Bernoulli trial.
+  bool coin(double p = 0.5);
+  /// Uniformly chosen index in [0, n).
+  std::size_t index(std::size_t n);
+  /// Random sign, +1 or -1.
+  int sign();
+
+  /// Fisher–Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+  /// First k elements of a random permutation of [0, n).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  std::uint64_t seed() const { return seed_; }
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+  std::uint64_t split_count_ = 0;
+};
+
+}  // namespace advp

@@ -1,0 +1,81 @@
+#include "data/dataset.h"
+
+#include "core/check.h"
+
+namespace advp::data {
+
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>> split_indices(
+    std::size_t n, double train_fraction, std::uint64_t seed) {
+  ADVP_CHECK(train_fraction >= 0.0 && train_fraction <= 1.0);
+  Rng rng(seed);
+  auto perm = rng.permutation(n);
+  const std::size_t n_train =
+      static_cast<std::size_t>(train_fraction * static_cast<double>(n));
+  std::vector<std::size_t> train(perm.begin(),
+                                 perm.begin() + static_cast<long>(n_train));
+  std::vector<std::size_t> test(perm.begin() + static_cast<long>(n_train),
+                                perm.end());
+  return {std::move(train), std::move(test)};
+}
+
+SignDataset subset(const SignDataset& ds,
+                   const std::vector<std::size_t>& idx) {
+  SignDataset out;
+  out.scenes.reserve(idx.size());
+  for (std::size_t i : idx) {
+    ADVP_CHECK(i < ds.scenes.size());
+    out.scenes.push_back(ds.scenes[i]);
+  }
+  return out;
+}
+
+DrivingDataset subset(const DrivingDataset& ds,
+                      const std::vector<std::size_t>& idx) {
+  DrivingDataset out;
+  out.frames.reserve(idx.size());
+  for (std::size_t i : idx) {
+    ADVP_CHECK(i < ds.frames.size());
+    out.frames.push_back(ds.frames[i]);
+  }
+  return out;
+}
+
+SignDataset make_sign_dataset(int n, std::uint64_t seed,
+                              SignSceneParams params) {
+  SignSceneGenerator gen(params);
+  SignDataset ds;
+  ds.scenes = gen.generate_dataset(n, seed);
+  return ds;
+}
+
+DrivingDataset make_driving_dataset(int n, std::uint64_t seed,
+                                    DrivingSceneParams params) {
+  DrivingSceneGenerator gen(params);
+  DrivingDataset ds;
+  ds.frames = gen.generate_frames(n, seed);
+  return ds;
+}
+
+DrivingDataset make_driving_dataset_stratified(
+    int per_bin, const std::vector<float>& bin_edges, std::uint64_t seed,
+    DrivingSceneParams params) {
+  ADVP_CHECK_MSG(bin_edges.size() >= 2, "need at least one bin");
+  DrivingSceneGenerator gen(params);
+  Rng rng(seed);
+  DrivingDataset ds;
+  ds.frames.reserve(static_cast<std::size_t>(per_bin) *
+                    (bin_edges.size() - 1));
+  for (std::size_t b = 0; b + 1 < bin_edges.size(); ++b) {
+    const float lo = std::max(bin_edges[b], params.min_distance);
+    const float hi = std::min(bin_edges[b + 1], params.max_distance);
+    ADVP_CHECK_MSG(hi > lo, "empty distance bin after clamping");
+    for (int i = 0; i < per_bin; ++i) {
+      SceneStyle style = gen.sample_style(rng);
+      const float d = static_cast<float>(rng.uniform(lo, hi));
+      ds.frames.push_back(gen.render(d, style, rng));
+    }
+  }
+  return ds;
+}
+
+}  // namespace advp::data

@@ -1,0 +1,53 @@
+// Dataset containers and deterministic splits shared by training,
+// attack-evaluation and defense-evaluation code.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/driving_scene.h"
+#include "data/sign_scene.h"
+
+namespace advp::data {
+
+/// Detection dataset: scenes + ground-truth stop-sign boxes.
+struct SignDataset {
+  std::vector<SignScene> scenes;
+
+  std::size_t size() const { return scenes.size(); }
+};
+
+/// Regression dataset: frames with ground-truth lead distance.
+struct DrivingDataset {
+  std::vector<DrivingFrame> frames;
+
+  std::size_t size() const { return frames.size(); }
+};
+
+/// Deterministic index split: first `train_fraction` of a seeded
+/// permutation goes to train, rest to test.
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>> split_indices(
+    std::size_t n, double train_fraction, std::uint64_t seed);
+
+/// Selects the subset of a SignDataset at the given indices.
+SignDataset subset(const SignDataset& ds, const std::vector<std::size_t>& idx);
+DrivingDataset subset(const DrivingDataset& ds,
+                      const std::vector<std::size_t>& idx);
+
+/// Standard corpora used by the experiment harness. Sizes are chosen so a
+/// full table reproduces in minutes on one core while keeping every
+/// distance range / sign scale populated.
+SignDataset make_sign_dataset(int n, std::uint64_t seed,
+                              SignSceneParams params = {});
+DrivingDataset make_driving_dataset(int n, std::uint64_t seed,
+                                    DrivingSceneParams params = {});
+
+/// Driving frames stratified over distance bins (equal count per bin) —
+/// the evaluation sets for Tables I/II/III/V need all bins populated.
+DrivingDataset make_driving_dataset_stratified(int per_bin,
+                                               const std::vector<float>& bin_edges,
+                                               std::uint64_t seed,
+                                               DrivingSceneParams params = {});
+
+}  // namespace advp::data

@@ -1,0 +1,153 @@
+#include "data/driving_scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "image/draw.h"
+#include "image/proc.h"
+
+namespace advp::data {
+
+SceneStyle DrivingSceneGenerator::sample_style(Rng& rng) const {
+  SceneStyle s;
+  // Lead-car paint: anything from dark gray to saturated primaries.
+  s.car_color = Color{static_cast<float>(rng.uniform(0.1, 0.9)),
+                      static_cast<float>(rng.uniform(0.1, 0.9)),
+                      static_cast<float>(rng.uniform(0.1, 0.9))};
+  s.road_shade = static_cast<float>(rng.uniform(0.25, 0.4));
+  s.sky_shade = static_cast<float>(rng.uniform(0.55, 0.85));
+  s.light_gain = static_cast<float>(rng.uniform(0.85, 1.1));
+  s.lane_offset = static_cast<float>(rng.uniform(-0.5, 0.5));
+  return s;
+}
+
+Box DrivingSceneGenerator::project_lead(float distance_m,
+                                        const SceneStyle& style) const {
+  const auto& p = params_;
+  const float horizon = p.height * 0.38f;
+  const float cx = p.width / 2.f + p.focal * style.lane_offset / distance_m;
+  const float w_px = p.focal * p.car_width_m / distance_m;
+  const float h_px = p.focal * p.car_height_m / distance_m;
+  const float y_bottom = horizon + p.focal * p.cam_height_m / distance_m;
+  return Box{cx - w_px / 2.f, y_bottom - h_px, w_px, h_px};
+}
+
+DrivingFrame DrivingSceneGenerator::render(float distance_m,
+                                           const SceneStyle& style,
+                                           Rng& rng) const {
+  const auto& p = params_;
+  ADVP_CHECK_MSG(distance_m > 0.5f, "render: lead distance too small");
+  DrivingFrame f;
+  f.distance = distance_m;
+  f.image = Image(p.width, p.height);
+  Image& img = f.image;
+
+  const float horizon = p.height * 0.38f;
+
+  // Sky.
+  fill_vertical_gradient(img,
+                         Color{style.sky_shade * 0.85f, style.sky_shade * 0.92f,
+                               style.sky_shade},
+                         Color{style.sky_shade, style.sky_shade,
+                               style.sky_shade * 0.95f});
+  // Road: trapezoid from the bottom corners to the vanishing point.
+  const float vx = p.width / 2.f;
+  fill_convex_polygon(
+      img,
+      {{0.f, static_cast<float>(p.height)},
+       {static_cast<float>(p.width), static_cast<float>(p.height)},
+       {vx + 2.f, horizon},
+       {vx - 2.f, horizon}},
+      Color{style.road_shade, style.road_shade, style.road_shade});
+  // Grass shoulders.
+  fill_convex_polygon(img,
+                      {{0.f, static_cast<float>(p.height)},
+                       {vx - 2.f, horizon},
+                       {0.f, horizon}},
+                      Color{0.2f, 0.4f, 0.2f}, 0.8f);
+  fill_convex_polygon(img,
+                      {{static_cast<float>(p.width), static_cast<float>(p.height)},
+                       {static_cast<float>(p.width), horizon},
+                       {vx + 2.f, horizon}},
+                      Color{0.2f, 0.4f, 0.2f}, 0.8f);
+  // Lane lines converging on the vanishing point.
+  const Color lane{0.85f, 0.85f, 0.8f};
+  draw_line(img, p.width * 0.12f, static_cast<float>(p.height), vx - 1.f,
+            horizon, lane, 1.f);
+  draw_line(img, p.width * 0.88f, static_cast<float>(p.height), vx + 1.f,
+            horizon, lane, 1.f);
+
+  // Lead vehicle.
+  const Box box = project_lead(distance_m, style);
+  f.lead_box = box;
+  // Body.
+  fill_rect(img, box, style.car_color);
+  // Rear window (upper band, darker).
+  fill_rect(img,
+            Box{box.x + box.w * 0.15f, box.y + box.h * 0.08f, box.w * 0.7f,
+                box.h * 0.3f},
+            Color{style.car_color.r * 0.3f, style.car_color.g * 0.3f,
+                  style.car_color.b * 0.35f});
+  // Bumper shadow under the car.
+  fill_rect(img, Box{box.x, box.bottom() - box.h * 0.12f, box.w, box.h * 0.14f},
+            Color{0.08f, 0.08f, 0.08f});
+  // Tail lights when the car is close enough to resolve them.
+  if (box.w >= 6.f) {
+    const float lw = std::max(1.f, box.w * 0.12f);
+    fill_rect(img, Box{box.x + box.w * 0.08f, box.y + box.h * 0.55f, lw,
+                       std::max(1.f, box.h * 0.12f)},
+              Color{0.9f, 0.15f, 0.1f});
+    fill_rect(img, Box{box.right() - box.w * 0.08f - lw, box.y + box.h * 0.55f,
+                       lw, std::max(1.f, box.h * 0.12f)},
+              Color{0.9f, 0.15f, 0.1f});
+  }
+
+  apply_lighting(img, style.light_gain, 0.f);
+  if (p.noise_sigma > 0.f)
+    f.image = add_gaussian_noise(f.image, p.noise_sigma, rng);
+
+  // Clip the ground-truth box to the image for downstream consumers.
+  const float x0 = std::clamp(f.lead_box.x, 0.f, static_cast<float>(p.width));
+  const float y0 = std::clamp(f.lead_box.y, 0.f, static_cast<float>(p.height));
+  const float x1 = std::clamp(f.lead_box.right(), 0.f, static_cast<float>(p.width));
+  const float y1 = std::clamp(f.lead_box.bottom(), 0.f, static_cast<float>(p.height));
+  f.lead_box = Box{x0, y0, std::max(1.f, x1 - x0), std::max(1.f, y1 - y0)};
+  return f;
+}
+
+std::vector<DrivingFrame> DrivingSceneGenerator::generate_frames(
+    int n, std::uint64_t seed) const {
+  ADVP_CHECK(n >= 0);
+  Rng rng(seed);
+  std::vector<DrivingFrame> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    SceneStyle style = sample_style(rng);
+    const float d = static_cast<float>(
+        rng.uniform(params_.min_distance, params_.max_distance));
+    out.push_back(render(d, style, rng));
+  }
+  return out;
+}
+
+std::vector<DrivingFrame> DrivingSceneGenerator::generate_sequence(
+    int n_frames, float d0, float v_rel, float dt, std::uint64_t seed) const {
+  ADVP_CHECK(n_frames >= 0 && dt > 0.f);
+  Rng rng(seed);
+  SceneStyle style = sample_style(rng);
+  std::vector<DrivingFrame> out;
+  out.reserve(static_cast<std::size_t>(n_frames));
+  float d = d0, v = v_rel;
+  for (int i = 0; i < n_frames; ++i) {
+    d = std::clamp(d, params_.min_distance, params_.max_distance);
+    out.push_back(render(d, style, rng));
+    // Mild random relative acceleration keeps trajectories lively.
+    v += static_cast<float>(rng.gaussian(0.15)) * dt;
+    v = std::clamp(v, -6.f, 6.f);
+    d += v * dt;
+  }
+  return out;
+}
+
+}  // namespace advp::data

@@ -1,0 +1,81 @@
+// Procedural driving-scene generator for the distance-regression task.
+//
+// Stands in for comma2k19 video + the radar-derived lead-distance labels
+// (see DESIGN.md §2). The renderer uses a pinhole-camera model: the lead
+// vehicle's apparent size and vertical position scale as 1/d, which is the
+// geometric property the Supercombo distance head exploits and the property
+// that makes close-range frames more attackable (Table I's key finding).
+// Temporally coherent sequences come from simple longitudinal kinematics,
+// which CAP-Attack needs for its frame-to-frame patch inheritance.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "image/draw.h"
+#include "image/image.h"
+
+namespace advp::data {
+
+/// One rendered frame plus its ground truth.
+struct DrivingFrame {
+  Image image;
+  float distance = 0.f;  ///< true relative distance to lead vehicle (m)
+  Box lead_box;          ///< tight box around the lead vehicle (pixels)
+};
+
+struct DrivingSceneParams {
+  int width = 96;
+  int height = 48;
+  float focal = 90.f;        ///< pinhole focal length (pixels)
+  float car_width_m = 1.85f; ///< physical lead-car width
+  float car_height_m = 1.5f;
+  float cam_height_m = 1.2f; ///< camera height above road
+  float min_distance = 4.f;
+  float max_distance = 88.f;
+  float noise_sigma = 0.015f;
+};
+
+/// Scene appearance sampled once per sequence so consecutive frames differ
+/// only by lead-vehicle motion (plus per-frame sensor noise).
+struct SceneStyle {
+  Color car_color{0.2f, 0.2f, 0.7f};
+  float road_shade = 0.3f;
+  float sky_shade = 0.7f;
+  float light_gain = 1.f;
+  float lane_offset = 0.f;  ///< lead car lateral offset (m)
+};
+
+class DrivingSceneGenerator {
+ public:
+  explicit DrivingSceneGenerator(DrivingSceneParams params = {})
+      : params_(params) {}
+
+  /// Randomly samples a per-sequence style.
+  SceneStyle sample_style(Rng& rng) const;
+
+  /// Renders the lead vehicle at distance d (meters) with the given style.
+  DrivingFrame render(float distance_m, const SceneStyle& style,
+                      Rng& rng) const;
+
+  /// Independent frames with distances uniform over [min, max] — the
+  /// regression train/test distribution.
+  std::vector<DrivingFrame> generate_frames(int n, std::uint64_t seed) const;
+
+  /// A kinematic sequence: lead starts at distance d0 with relative speed
+  /// v_rel (m/s, positive = receding), sampled accel noise; dt seconds per
+  /// frame. Style is fixed across the sequence.
+  std::vector<DrivingFrame> generate_sequence(int n_frames, float d0,
+                                              float v_rel, float dt,
+                                              std::uint64_t seed) const;
+
+  const DrivingSceneParams& params() const { return params_; }
+
+  /// Screen-space box the lead car projects to at distance d (no clipping).
+  Box project_lead(float distance_m, const SceneStyle& style) const;
+
+ private:
+  DrivingSceneParams params_;
+};
+
+}  // namespace advp::data

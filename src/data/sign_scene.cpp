@@ -1,0 +1,130 @@
+#include "data/sign_scene.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "image/draw.h"
+#include "image/proc.h"
+
+namespace advp::data {
+
+namespace {
+
+void draw_background(Image& img, Rng& rng) {
+  // Sky-to-ground gradient with a random hue cast.
+  const float sky = static_cast<float>(rng.uniform(0.55, 0.85));
+  const float ground = static_cast<float>(rng.uniform(0.25, 0.45));
+  fill_vertical_gradient(img, Color{sky * 0.9f, sky * 0.95f, sky},
+                         Color{ground, ground * 0.95f, ground * 0.8f});
+  // Low-frequency texture blobs (buildings / foliage).
+  const int blobs = rng.uniform_int(2, 6);
+  for (int i = 0; i < blobs; ++i) {
+    const float v = static_cast<float>(rng.uniform(0.2, 0.6));
+    Color c{v, v * static_cast<float>(rng.uniform(0.8, 1.2)),
+            v * static_cast<float>(rng.uniform(0.6, 1.0))};
+    Box b{static_cast<float>(rng.uniform(0, img.width())),
+          static_cast<float>(rng.uniform(0, img.height())),
+          static_cast<float>(rng.uniform(4, img.width() / 2.0)),
+          static_cast<float>(rng.uniform(4, img.height() / 2.0))};
+    fill_rect(img, b, c, 0.5f);
+  }
+}
+
+// Draws a stop sign and returns its tight bounding box.
+Box draw_stop_sign(Image& img, float cx, float cy, float radius, Rng& rng) {
+  const double rot = M_PI / 8.0 + rng.uniform(-0.08, 0.08);
+  // Pole
+  draw_line(img, cx, cy, cx, cy + radius * 3.f, Color{0.35f, 0.35f, 0.35f},
+            std::max(1.f, radius * 0.12f));
+  // White rim then red face then legend.
+  fill_regular_polygon(img, cx, cy, radius, 8, rot, Color{0.92f, 0.92f, 0.92f});
+  const float face_r = radius * 0.86f;
+  const float red = static_cast<float>(rng.uniform(0.62, 0.85));
+  fill_regular_polygon(img, cx, cy, face_r, 8, rot, Color{red, 0.06f, 0.08f});
+  draw_sign_legend(img, cx, cy, face_r, Color{0.95f, 0.95f, 0.95f});
+  // The octagon's extent: circumradius along the rotated vertices.
+  return Box{cx - radius, cy - radius, 2.f * radius, 2.f * radius};
+}
+
+void draw_distractor(Image& img, Rng& rng) {
+  const float cx = static_cast<float>(rng.uniform(4, img.width() - 4));
+  const float cy = static_cast<float>(rng.uniform(4, img.height() - 4));
+  const float r = static_cast<float>(rng.uniform(3, 9));
+  switch (rng.uniform_int(0, 2)) {
+    case 0:  // yield triangle: white face, red border
+      fill_regular_polygon(img, cx, cy, r, 3, M_PI / 2.0,
+                           Color{0.85f, 0.12f, 0.12f});
+      fill_regular_polygon(img, cx, cy, r * 0.7f, 3, M_PI / 2.0,
+                           Color{0.95f, 0.95f, 0.92f});
+      break;
+    case 1:  // speed-limit disc: red ring, white face
+      fill_disc(img, cx, cy, r, Color{0.85f, 0.1f, 0.1f});
+      fill_disc(img, cx, cy, r * 0.7f, Color{0.96f, 0.96f, 0.96f});
+      break;
+    default:  // blue guide rectangle
+      fill_rect(img, Box{cx - r, cy - r * 0.7f, 2.f * r, 1.4f * r},
+                Color{0.15f, 0.3f, 0.75f});
+      break;
+  }
+}
+
+}  // namespace
+
+SignScene SignSceneGenerator::generate(Rng& rng) const {
+  const auto& p = params_;
+  SignScene scene;
+  scene.image = Image(p.width, p.height);
+  draw_background(scene.image, rng);
+
+  const int distractors = rng.uniform_int(0, p.max_distractors);
+  for (int i = 0; i < distractors; ++i) draw_distractor(scene.image, rng);
+
+  int n_signs = 1;
+  const double roll = rng.uniform();
+  if (roll < p.p_no_sign)
+    n_signs = 0;
+  else if (roll < p.p_no_sign + p.p_two_signs)
+    n_signs = 2;
+
+  for (int i = 0; i < n_signs; ++i) {
+    // Rejection-sample a placement that doesn't collide with prior signs.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const float radius =
+          static_cast<float>(rng.uniform(p.min_radius, p.max_radius));
+      const float margin = radius + 1.f;
+      const float cx = static_cast<float>(
+          rng.uniform(margin, p.width - margin));
+      const float cy = static_cast<float>(
+          rng.uniform(margin, p.height * 0.75 - margin < margin
+                                  ? margin + 1.0
+                                  : p.height * 0.75 - margin));
+      const Box candidate{cx - radius, cy - radius, 2.f * radius, 2.f * radius};
+      bool overlaps = false;
+      for (const Box& existing : scene.stop_signs)
+        if (iou(existing, candidate) > 0.05f) overlaps = true;
+      if (overlaps) continue;
+      scene.stop_signs.push_back(
+          draw_stop_sign(scene.image, cx, cy, radius, rng));
+      break;
+    }
+  }
+
+  apply_lighting(scene.image,
+                 static_cast<float>(rng.uniform(p.light_gain_lo, p.light_gain_hi)),
+                 static_cast<float>(rng.uniform(-0.04, 0.04)));
+  if (p.noise_sigma > 0.f)
+    scene.image = add_gaussian_noise(scene.image, p.noise_sigma, rng);
+  return scene;
+}
+
+std::vector<SignScene> SignSceneGenerator::generate_dataset(
+    int n, std::uint64_t seed) const {
+  ADVP_CHECK(n >= 0);
+  Rng rng(seed);
+  std::vector<SignScene> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(generate(rng));
+  return out;
+}
+
+}  // namespace advp::data

@@ -1,0 +1,54 @@
+// Procedural traffic-sign scene generator.
+//
+// Stands in for the Kaggle "Traffic Signs Detection" dataset the paper uses
+// (see DESIGN.md §2): each scene is a rendered roadside view containing
+// zero or more stop signs (red octagon, white rim and legend) plus
+// distractor signs (yield triangle, speed-limit disc, guide rectangle),
+// with randomized position, scale, lighting and sensor noise. Ground-truth
+// stop-sign boxes are exact by construction.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "image/image.h"
+
+namespace advp::data {
+
+/// One generated scene with its ground truth.
+struct SignScene {
+  Image image;
+  std::vector<Box> stop_signs;  ///< ground-truth boxes (possibly empty)
+};
+
+struct SignSceneParams {
+  int width = 48;
+  int height = 48;
+  float min_radius = 5.f;    ///< stop-sign circumradius range (pixels)
+  float max_radius = 14.f;
+  float p_no_sign = 0.15f;   ///< fraction of negative scenes
+  float p_two_signs = 0.10f; ///< fraction with two stop signs
+  int max_distractors = 2;
+  float noise_sigma = 0.02f; ///< sensor noise
+  float light_gain_lo = 0.75f;
+  float light_gain_hi = 1.15f;
+};
+
+class SignSceneGenerator {
+ public:
+  explicit SignSceneGenerator(SignSceneParams params = {})
+      : params_(params) {}
+
+  /// Renders one scene; consumes randomness from `rng` only.
+  SignScene generate(Rng& rng) const;
+
+  /// Renders a deterministic dataset of n scenes from `seed`.
+  std::vector<SignScene> generate_dataset(int n, std::uint64_t seed) const;
+
+  const SignSceneParams& params() const { return params_; }
+
+ private:
+  SignSceneParams params_;
+};
+
+}  // namespace advp::data

@@ -1,0 +1,138 @@
+#include "defenses/contrastive.h"
+
+#include "core/check.h"
+#include "image/proc.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+
+namespace advp::defenses {
+
+Image augment_view(const Image& img, Rng& rng) {
+  Image out = randomize_transform(img, 0.85f, 1.15f, 0.f, rng);
+  if (rng.coin(0.5)) {
+    // Horizontal flip.
+    Image flipped(out.width(), out.height());
+    for (int y = 0; y < out.height(); ++y)
+      for (int x = 0; x < out.width(); ++x)
+        for (int c = 0; c < 3; ++c)
+          flipped.at(x, y, c) = out.at(out.width() - 1 - x, y, c);
+    out = flipped;
+  }
+  // Lighting jitter + sensor noise.
+  apply_lighting(out, static_cast<float>(rng.uniform(0.8, 1.2)),
+                 static_cast<float>(rng.uniform(-0.05, 0.05)));
+  return add_gaussian_noise(out, 0.02f, rng);
+}
+
+namespace {
+
+/// Projection head: GAP features -> Linear -> BN -> ReLU -> Dropout ->
+/// Linear. BatchNorm1d is realized by viewing [N,D] as [N,D,1,1].
+class ProjectionHead {
+ public:
+  ProjectionHead(int in_dim, const ContrastiveConfig& cfg, Rng& rng)
+      : lin1_(in_dim, cfg.proj_hidden, rng),
+        bn_(cfg.proj_hidden),
+        relu_(),
+        drop_(cfg.dropout, rng),
+        lin2_(cfg.proj_hidden, cfg.proj_dim, rng) {}
+
+  Tensor forward(const Tensor& feat, bool train) {
+    Tensor h = lin1_.forward(feat, train);
+    h = bn_.forward(h.reshape({h.dim(0), h.dim(1), 1, 1}), train);
+    h = h.reshape({h.dim(0), h.dim(1)});
+    h = relu_.forward(h, train);
+    h = drop_.forward(h, train);
+    return lin2_.forward(h, train);
+  }
+
+  Tensor backward(const Tensor& dz) {
+    Tensor g = lin2_.backward(dz);
+    g = drop_.backward(g);
+    g = relu_.backward(g);
+    g = bn_.backward(g.reshape({g.dim(0), g.dim(1), 1, 1}));
+    g = g.reshape({g.dim(0), g.dim(1)});
+    return lin1_.backward(g);
+  }
+
+  void collect_params(std::vector<nn::Param*>& out) {
+    lin1_.collect_params(out);
+    bn_.collect_params(out);
+    lin2_.collect_params(out);
+  }
+
+ private:
+  nn::Linear lin1_;
+  nn::BatchNorm2d bn_;
+  nn::ReLU relu_;
+  nn::Dropout drop_;
+  nn::Linear lin2_;
+};
+
+}  // namespace
+
+float contrastive_pretrain(models::TinyYolo& model,
+                           const std::vector<Image>& images,
+                           const ContrastiveConfig& cfg) {
+  ADVP_CHECK_MSG(images.size() >= 2, "contrastive_pretrain: need >= 2 images");
+  Rng rng(cfg.seed);
+  const int feat_dim = model.config().c3;
+  ProjectionHead head(feat_dim, cfg, rng);
+
+  std::vector<nn::Param*> params = model.params();
+  head.collect_params(params);
+  nn::Adam opt(params, cfg.lr);
+
+  float last_epoch = 0.f;
+  const std::size_t n = images.size();
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    auto order = rng.permutation(n);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (std::size_t start = 0; start + 2 <= n;
+         start += static_cast<std::size_t>(cfg.batch_pairs)) {
+      const std::size_t end =
+          std::min(n, start + static_cast<std::size_t>(cfg.batch_pairs));
+      // Build the 2N-view batch: rows 2i, 2i+1 are views of image i.
+      std::vector<Image> views;
+      for (std::size_t k = start; k < end; ++k) {
+        views.push_back(augment_view(images[order[k]], rng));
+        views.push_back(augment_view(images[order[k]], rng));
+      }
+      if (views.size() < 4) break;  // InfoNCE needs >= 2 pairs
+      Tensor batch = images_to_batch(views);
+
+      opt.zero_grad();
+      Tensor feat_map = model.backbone_features(batch, /*train=*/true);
+      Tensor feat = global_avgpool_forward(feat_map);
+      Tensor z = head.forward(feat, /*train=*/true);
+      nn::LossResult loss = nn::info_nce_loss(z, cfg.temperature, cfg.margin);
+      Tensor dfeat = head.backward(loss.grad);
+      Tensor dmap = global_avgpool_backward(dfeat, feat_map.shape());
+      model.backbone_backward(dmap);
+      nn::clip_grad_norm(params, 5.f);
+      opt.step();
+      epoch_loss += loss.value;
+      ++batches;
+    }
+    last_epoch = static_cast<float>(epoch_loss / std::max(1, batches));
+    if (cfg.verbose)
+      std::printf("  [contrastive] epoch %2d loss %.4f\n", epoch, last_epoch);
+  }
+  return last_epoch;
+}
+
+void contrastive_train_detector(models::TinyYolo& model,
+                                const data::SignDataset& train,
+                                const ContrastiveConfig& ccfg,
+                                const models::TrainConfig& tcfg) {
+  std::vector<Image> images;
+  images.reserve(train.size());
+  for (const auto& s : train.scenes) images.push_back(s.image);
+  contrastive_pretrain(model, images, ccfg);
+  models::train_detector(model, train, tcfg);
+}
+
+}  // namespace advp::defenses

@@ -1,0 +1,48 @@
+// Contrastive-learning defense (paper §IV-D eq. (10), Table IV):
+// self-supervised SimCLR-style pretraining of the detector backbone with a
+// projection head (batch-norm + dropout, as the paper describes) and a
+// multi-positive InfoNCE loss with margin, followed by detection
+// fine-tuning. The intuition the paper tests: augmentation-invariant
+// features resist the simpler pixel-space perturbations.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "models/tiny_yolo.h"
+#include "models/zoo.h"
+
+namespace advp::defenses {
+
+struct ContrastiveConfig {
+  int epochs = 8;
+  int batch_pairs = 8;    ///< N; the InfoNCE batch is 2N views
+  float lr = 1e-3f;
+  float temperature = 0.2f;
+  float margin = 0.1f;    ///< subtracted from positive-pair similarity
+  float dropout = 0.1f;
+  int proj_hidden = 64;
+  int proj_dim = 32;
+  std::uint64_t seed = 21;
+  bool verbose = false;
+};
+
+/// A stochastic augmentation pipeline (resize/pad jitter, lighting,
+/// sensor noise, horizontal flip) producing positive pairs.
+Image augment_view(const Image& img, Rng& rng);
+
+/// Pretrains `model`'s backbone in place on unlabeled scene images;
+/// returns the final epoch's mean InfoNCE loss.
+float contrastive_pretrain(models::TinyYolo& model,
+                           const std::vector<Image>& images,
+                           const ContrastiveConfig& cfg);
+
+/// Full recipe used by Table IV: contrastive pretrain on the train scenes,
+/// then supervised detection fine-tuning.
+void contrastive_train_detector(models::TinyYolo& model,
+                                const data::SignDataset& train,
+                                const ContrastiveConfig& ccfg,
+                                const models::TrainConfig& tcfg);
+
+}  // namespace advp::defenses

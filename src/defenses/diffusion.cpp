@@ -1,0 +1,281 @@
+#include "defenses/diffusion.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "nn/loss.h"
+#include "nn/optim.h"
+
+namespace advp::defenses {
+
+DiffusionDenoiser::DiffusionDenoiser(int height, int width, DdpmConfig config,
+                                     Rng& rng)
+    : h_(height), w_(width), config_(config) {
+  ADVP_CHECK(h_ % 2 == 0 && w_ % 2 == 0);
+  ADVP_CHECK(config_.timesteps >= 2);
+  alpha_bar_.resize(static_cast<std::size_t>(config_.timesteps));
+  float prod = 1.f;
+  for (int t = 0; t < config_.timesteps; ++t) {
+    const float beta =
+        config_.beta_min +
+        (config_.beta_max - config_.beta_min) * static_cast<float>(t) /
+            static_cast<float>(config_.timesteps - 1);
+    prod *= (1.f - beta);
+    alpha_bar_[static_cast<std::size_t>(t)] = prod;
+  }
+
+  const int c = config_.base_channels;
+  enc1_ = std::make_unique<nn::Conv2d>(5, c, 3, 1, 1, rng);
+  act1_ = std::make_unique<nn::SiLU>();
+  pool_ = std::make_unique<nn::MaxPool2x2>();
+  enc2_ = std::make_unique<nn::Conv2d>(c, 2 * c, 3, 1, 1, rng);
+  act2_ = std::make_unique<nn::SiLU>();
+  mid_ = std::make_unique<nn::Conv2d>(2 * c, 2 * c, 3, 1, 1, rng);
+  act3_ = std::make_unique<nn::SiLU>();
+  up_ = std::make_unique<nn::Upsample2x>();
+  dec_ = std::make_unique<nn::Conv2d>(3 * c, c, 3, 1, 1, rng);
+  act4_ = std::make_unique<nn::SiLU>();
+  out_ = std::make_unique<nn::Conv2d>(c, 3, 3, 1, 1, rng);
+}
+
+float DiffusionDenoiser::alpha_bar(int t) const {
+  ADVP_CHECK(t >= 0 && t < config_.timesteps);
+  return alpha_bar_[static_cast<std::size_t>(t)];
+}
+
+Tensor DiffusionDenoiser::with_time_channels(
+    const Tensor& x, const std::vector<int>& ts) const {
+  ADVP_CHECK(x.rank() == 4 && x.dim(1) == 3 && x.dim(2) == h_ &&
+             x.dim(3) == w_);
+  const int n = x.dim(0);
+  ADVP_CHECK(static_cast<int>(ts.size()) == n);
+  Tensor tc({n, 2, h_, w_});
+  for (int i = 0; i < n; ++i) {
+    const float phase = 2.f * static_cast<float>(M_PI) *
+                        static_cast<float>(ts[static_cast<std::size_t>(i)]) /
+                        static_cast<float>(config_.timesteps);
+    const float s = std::sin(phase), c = std::cos(phase);
+    for (int y = 0; y < h_; ++y)
+      for (int xx = 0; xx < w_; ++xx) {
+        tc.at(i, 0, y, xx) = s;
+        tc.at(i, 1, y, xx) = c;
+      }
+  }
+  return nn::concat_channels(x, tc);
+}
+
+Tensor DiffusionDenoiser::unet_forward(const Tensor& x5, bool train) {
+  Tensor e1 = act1_->forward(enc1_->forward(x5, train), train);
+  skip_cache_ = e1;
+  Tensor d = pool_->forward(e1, train);
+  d = act2_->forward(enc2_->forward(d, train), train);
+  d = act3_->forward(mid_->forward(d, train), train);
+  Tensor u = up_->forward(d, train);
+  Tensor cat = nn::concat_channels(u, e1);
+  Tensor o = act4_->forward(dec_->forward(cat, train), train);
+  return out_->forward(o, train);
+}
+
+void DiffusionDenoiser::unet_backward(const Tensor& deps) {
+  Tensor g = out_->backward(deps);
+  g = act4_->backward(g);
+  g = dec_->backward(g);
+  Tensor du, dskip;
+  nn::split_channels(g, 2 * config_.base_channels, &du, &dskip);
+  Tensor gd = up_->backward(du);
+  gd = act3_->backward(gd);
+  gd = mid_->backward(gd);
+  gd = act2_->backward(gd);
+  gd = enc2_->backward(gd);
+  gd = pool_->backward(gd);
+  gd += dskip;  // skip connection joins here
+  gd = act1_->backward(gd);
+  enc1_->backward(gd);  // input gradient unused
+}
+
+Tensor DiffusionDenoiser::net_output(const Tensor& x_t,
+                                     const std::vector<int>& ts, bool train) {
+  return unet_forward(with_time_channels(x_t, ts), train);
+}
+
+Tensor DiffusionDenoiser::predict_eps(const Tensor& x_t, int t, bool train) {
+  std::vector<int> ts(static_cast<std::size_t>(x_t.dim(0)), t);
+  Tensor out = net_output(x_t, ts, train);
+  if (!config_.predict_x0) return out;
+  // eps = (x_t - sqrt(ab) * x0_hat) / sqrt(1 - ab)
+  const float ab = alpha_bar(t);
+  const float sa = std::sqrt(ab), sb = std::sqrt(std::max(1e-8f, 1.f - ab));
+  Tensor eps = x_t;
+  eps -= out.map([sa](float v) { return sa * v; });
+  eps *= 1.f / sb;
+  return eps;
+}
+
+Tensor DiffusionDenoiser::predict_x0(const Tensor& x_t, int t, bool train) {
+  std::vector<int> ts(static_cast<std::size_t>(x_t.dim(0)), t);
+  Tensor out = net_output(x_t, ts, train);
+  if (!config_.predict_x0) {
+    // x0 = (x_t - sqrt(1-ab) * eps_hat) / sqrt(ab)
+    const float ab = alpha_bar(t);
+    const float sa = std::sqrt(ab), sb = std::sqrt(std::max(1e-8f, 1.f - ab));
+    Tensor x0 = x_t;
+    x0 -= out.map([sb](float v) { return sb * v; });
+    x0 *= 1.f / sa;
+    out = std::move(x0);
+  }
+  out.clamp(0.f, 1.f);
+  return out;
+}
+
+std::vector<nn::Param*> DiffusionDenoiser::params() {
+  std::vector<nn::Param*> out;
+  enc1_->collect_params(out);
+  enc2_->collect_params(out);
+  mid_->collect_params(out);
+  dec_->collect_params(out);
+  out_->collect_params(out);
+  return out;
+}
+
+float DiffusionDenoiser::train(const std::vector<Image>& images, int epochs,
+                               int batch_size, float lr, Rng& rng) {
+  ADVP_CHECK(!images.empty());
+  nn::Adam opt(params(), lr);
+  float last_epoch = 0.f;
+  const std::size_t n = images.size();
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    auto order = rng.permutation(n);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (std::size_t start = 0; start < n;
+         start += static_cast<std::size_t>(batch_size)) {
+      const std::size_t end =
+          std::min(n, start + static_cast<std::size_t>(batch_size));
+      std::vector<Image> chunk;
+      chunk.reserve(end - start);
+      for (std::size_t k = start; k < end; ++k)
+        chunk.push_back(images[order[k]]);
+      Tensor x0 = images_to_batch(chunk);
+      const int nb = x0.dim(0);
+
+      // Per-item diffusion level for dense t coverage.
+      std::vector<int> ts(static_cast<std::size_t>(nb));
+      Tensor eps = Tensor::randn(x0.shape(), rng);
+      Tensor x_t = x0;
+      const std::size_t plane = static_cast<std::size_t>(3) * h_ * w_;
+      for (int i = 0; i < nb; ++i) {
+        const int t = rng.uniform_int(1, config_.timesteps - 1);
+        ts[static_cast<std::size_t>(i)] = t;
+        const float ab = alpha_bar(t);
+        const float sa = std::sqrt(ab), sb = std::sqrt(1.f - ab);
+        float* xp = x_t.data() + static_cast<std::size_t>(i) * plane;
+        const float* ep = eps.data() + static_cast<std::size_t>(i) * plane;
+        for (std::size_t j = 0; j < plane; ++j)
+          xp[j] = sa * xp[j] + sb * ep[j];
+      }
+
+      opt.zero_grad();
+      Tensor pred = net_output(x_t, ts, /*train=*/true);
+      nn::LossResult loss = config_.predict_x0 ? nn::mse_loss(pred, x0)
+                                               : nn::mse_loss(pred, eps);
+      unet_backward(loss.grad);
+      nn::clip_grad_norm(params(), 5.f);
+      opt.step();
+      epoch_loss += loss.value;
+      ++batches;
+    }
+    last_epoch = static_cast<float>(epoch_loss / std::max(1, batches));
+  }
+  return last_epoch;
+}
+
+Image DiffusionDenoiser::restore(const Image& y, const DiffPirParams& params,
+                                 Rng& rng) {
+  ADVP_CHECK(y.height() == h_ && y.width() == w_);
+  ADVP_CHECK(params.start_t >= 1 && params.start_t < config_.timesteps);
+  ADVP_CHECK(params.steps >= 1);
+  Tensor y_t = y.to_batch();
+
+  // Lift the observation to diffusion level start_t.
+  const float ab0 = alpha_bar(params.start_t);
+  Tensor x = y_t;
+  x *= std::sqrt(ab0);
+  Tensor lift_noise = Tensor::randn(x.shape(), rng, std::sqrt(1.f - ab0));
+  x += lift_noise;
+
+  // Descending timestep schedule start_t -> 0 (inclusive), evenly spaced.
+  std::vector<int> schedule;
+  for (int k = 0; k < params.steps; ++k) {
+    const float frac = static_cast<float>(k) /
+                       static_cast<float>(std::max(1, params.steps - 1));
+    schedule.push_back(static_cast<int>(
+        std::round(static_cast<float>(params.start_t) * (1.f - frac))));
+  }
+  schedule.back() = 0;
+
+  Tensor x0_hat = y_t;
+  for (std::size_t k = 0; k < schedule.size(); ++k) {
+    const int t = schedule[k];
+    const float ab = alpha_bar(t);
+    const float sqrt_ab = std::sqrt(ab);
+    const float sqrt_1mab = std::sqrt(std::max(1e-8f, 1.f - ab));
+
+    // 1) Denoise: predict x0 from x_t via the learned prior.
+    Tensor x0_t = predict_x0(x, t, /*train=*/false);
+
+    // 2) Projection (proximal data-consistency, eq. (9) with H = I):
+    //    x0_hat = argmin ||y - x||^2 + rho_t ||x - x0_t||^2.
+    const float sbar2 = (1.f - ab) / ab;  // effective prior noise^2
+    const float rho = params.lambda * params.sigma_n * params.sigma_n /
+                      std::max(1e-6f, sbar2);
+    x0_hat = Tensor(x.shape());
+    for (std::size_t i = 0; i < x0_hat.numel(); ++i)
+      x0_hat[i] = (y_t[i] + rho * x0_t[i]) / (1.f + rho);
+    x0_hat.clamp(0.f, 1.f);
+
+    if (k + 1 == schedule.size()) break;
+
+    // 3) Resample to the next (lower) level with partial noise injection.
+    const int t_next = schedule[k + 1];
+    const float ab_next = alpha_bar(t_next);
+    Tensor eps_eff = x;
+    eps_eff -= x0_hat.map([sqrt_ab](float v) { return v * sqrt_ab; });
+    eps_eff *= 1.f / sqrt_1mab;
+
+    Tensor fresh = Tensor::randn(x.shape(), rng);
+    const float mix_det = std::sqrt((1.f - ab_next) * (1.f - params.zeta));
+    const float mix_sto = std::sqrt((1.f - ab_next) * params.zeta);
+    x = x0_hat;
+    x *= std::sqrt(ab_next);
+    for (std::size_t i = 0; i < x.numel(); ++i)
+      x[i] += mix_det * eps_eff[i] + mix_sto * fresh[i];
+  }
+
+  Image out = Image::from_batch(x0_hat, 0);
+  out.clamp01();
+  return out;
+}
+
+Image DiffusionDenoiser::sample(Rng& rng) {
+  Tensor x = Tensor::randn({1, 3, h_, w_}, rng);
+  for (int t = config_.timesteps - 1; t >= 0; --t) {
+    const float ab = alpha_bar(t);
+    const float ab_prev = t > 0 ? alpha_bar(t - 1) : 1.f;
+    const float alpha_t = ab / ab_prev;
+    Tensor eps_hat = predict_eps(x, t, /*train=*/false);
+    // x_{t-1} mean (DDPM posterior mean parameterization).
+    const float coef = (1.f - alpha_t) / std::sqrt(std::max(1e-8f, 1.f - ab));
+    for (std::size_t i = 0; i < x.numel(); ++i)
+      x[i] = (x[i] - coef * eps_hat[i]) / std::sqrt(alpha_t);
+    if (t > 0) {
+      const float sigma = std::sqrt((1.f - alpha_t) * (1.f - ab_prev) /
+                                    std::max(1e-8f, 1.f - ab));
+      Tensor z = Tensor::randn(x.shape(), rng, sigma);
+      x += z;
+    }
+  }
+  x.clamp(0.f, 1.f);
+  return Image::from_batch(x, 0);
+}
+
+}  // namespace advp::defenses

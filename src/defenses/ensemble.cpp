@@ -1,0 +1,94 @@
+#include "defenses/ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace advp::defenses {
+
+CascadeDefense::CascadeDefense(
+    std::vector<std::unique_ptr<InputDefense>> stages, std::string name)
+    : stages_(std::move(stages)), name_(std::move(name)) {
+  ADVP_CHECK_MSG(!stages_.empty(), "CascadeDefense: need >= 1 stage");
+}
+
+Image CascadeDefense::apply(const Image& img) const {
+  Image out = img;
+  for (const auto& stage : stages_) out = stage->apply(out);
+  return out;
+}
+
+BlendDefense::BlendDefense(std::vector<std::unique_ptr<InputDefense>> members,
+                           std::string name)
+    : members_(std::move(members)), name_(std::move(name)) {
+  ADVP_CHECK_MSG(!members_.empty(), "BlendDefense: need >= 1 member");
+}
+
+Image BlendDefense::apply(const Image& img) const {
+  Image acc(img.width(), img.height(), 0.f);
+  for (const auto& member : members_) {
+    Image view = member->apply(img);
+    ADVP_CHECK(view.width() == img.width() && view.height() == img.height());
+    for (std::size_t i = 0; i < acc.numel(); ++i)
+      acc.data()[i] += view.data()[i];
+  }
+  const float inv = 1.f / static_cast<float>(members_.size());
+  for (std::size_t i = 0; i < acc.numel(); ++i) acc.data()[i] *= inv;
+  return acc;
+}
+
+std::unique_ptr<InputDefense> make_blur_then_bitdepth() {
+  std::vector<std::unique_ptr<InputDefense>> stages;
+  stages.push_back(std::make_unique<MedianBlurDefense>(3));
+  stages.push_back(std::make_unique<BitDepthDefense>(3));
+  return std::make_unique<CascadeDefense>(std::move(stages),
+                                          "Blur+BitDepth");
+}
+
+SqueezeDetector::SqueezeDetector(
+    std::vector<std::unique_ptr<InputDefense>> squeezers, float threshold)
+    : squeezers_(std::move(squeezers)), threshold_(threshold) {
+  ADVP_CHECK_MSG(!squeezers_.empty(), "SqueezeDetector: need >= 1 squeezer");
+}
+
+SqueezeDetector::Result SqueezeDetector::inspect(const Image& img,
+                                                 const Probe& probe) const {
+  Result r;
+  const float base = probe(img);
+  for (std::size_t s = 0; s < squeezers_.size(); ++s) {
+    const float squeezed = probe(squeezers_[s]->apply(img));
+    const float shift = std::fabs(base - squeezed);
+    if (shift > r.max_shift) {
+      r.max_shift = shift;
+      r.worst_squeezer = s;
+    }
+  }
+  r.adversarial = r.max_shift > threshold_;
+  return r;
+}
+
+float SqueezeDetector::calibrate(const std::vector<Image>& clean_corpus,
+                                 const Probe& probe, double quantile) {
+  ADVP_CHECK(!clean_corpus.empty());
+  ADVP_CHECK(quantile > 0.0 && quantile <= 1.0);
+  std::vector<float> shifts;
+  shifts.reserve(clean_corpus.size());
+  for (const Image& img : clean_corpus)
+    shifts.push_back(inspect(img, probe).max_shift);
+  std::sort(shifts.begin(), shifts.end());
+  const std::size_t idx = std::min(
+      shifts.size() - 1,
+      static_cast<std::size_t>(quantile * static_cast<double>(shifts.size())));
+  threshold_ = shifts[idx];
+  return threshold_;
+}
+
+std::vector<std::unique_ptr<InputDefense>> standard_squeezers() {
+  std::vector<std::unique_ptr<InputDefense>> out;
+  out.push_back(std::make_unique<MedianBlurDefense>(3));
+  out.push_back(std::make_unique<BitDepthDefense>(3));
+  return out;
+}
+
+}  // namespace advp::defenses

@@ -1,0 +1,95 @@
+// Defense composition and runtime adversarial-input detection — the
+// directions the paper's §V-C1/§VI point at ("combining complementary
+// preprocessing techniques or adopting multi-model fusion strategies",
+// "runtime safety monitoring"):
+//
+//  - CascadeDefense: applies a pipeline of input defenses in order.
+//  - BlendDefense: averages the outputs of several defenses pixelwise
+//    (a cheap multi-view fusion).
+//  - SqueezeDetector: feature-squeezing detection (Xu et al., NDSS'18):
+//    an input is flagged adversarial when the model's output moves more
+//    than a threshold under a mild squeeze (median blur / bit depth) —
+//    turning the Table II defenses into a runtime monitor instead of a
+//    silent repair.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "defenses/preprocess.h"
+
+namespace advp::defenses {
+
+/// Applies child defenses left to right.
+class CascadeDefense : public InputDefense {
+ public:
+  explicit CascadeDefense(std::vector<std::unique_ptr<InputDefense>> stages,
+                          std::string name = "Cascade");
+
+  Image apply(const Image& img) const override;
+  std::string name() const override { return name_; }
+  std::size_t size() const { return stages_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<InputDefense>> stages_;
+  std::string name_;
+};
+
+/// Pixelwise mean of each child defense's output (simple fusion).
+class BlendDefense : public InputDefense {
+ public:
+  explicit BlendDefense(std::vector<std::unique_ptr<InputDefense>> members,
+                        std::string name = "Blend");
+
+  Image apply(const Image& img) const override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::vector<std::unique_ptr<InputDefense>> members_;
+  std::string name_;
+};
+
+/// The paper's suggested combination: median blur then bit-depth
+/// reduction (smooth structured noise, then kill residual low-amplitude
+/// perturbations).
+std::unique_ptr<InputDefense> make_blur_then_bitdepth();
+
+/// Feature-squeezing adversarial-input detector.
+///
+/// `Probe` maps an image to a scalar model output (e.g. the predicted
+/// lead distance, or summed objectness). The detector squeezes the input
+/// with each configured squeezer and reports the maximum absolute output
+/// shift; shifts above `threshold` flag the input as adversarial.
+class SqueezeDetector {
+ public:
+  using Probe = std::function<float(const Image&)>;
+
+  struct Result {
+    bool adversarial = false;
+    float max_shift = 0.f;       ///< largest |probe(x) - probe(squeeze(x))|
+    std::size_t worst_squeezer = 0;
+  };
+
+  SqueezeDetector(std::vector<std::unique_ptr<InputDefense>> squeezers,
+                  float threshold);
+
+  Result inspect(const Image& img, const Probe& probe) const;
+
+  float threshold() const { return threshold_; }
+  void set_threshold(float t) { threshold_ = t; }
+
+  /// Calibrates the threshold as the `quantile` of max-shifts over a
+  /// clean corpus (so the false-positive rate is ~1 - quantile).
+  float calibrate(const std::vector<Image>& clean_corpus, const Probe& probe,
+                  double quantile = 0.95);
+
+ private:
+  std::vector<std::unique_ptr<InputDefense>> squeezers_;
+  float threshold_;
+};
+
+/// Standard squeezer pair from Xu et al.: 3x3 median + 3-bit depth.
+std::vector<std::unique_ptr<InputDefense>> standard_squeezers();
+
+}  // namespace advp::defenses

@@ -1,0 +1,15 @@
+#include "defenses/preprocess.h"
+
+namespace advp::defenses {
+
+std::vector<std::unique_ptr<InputDefense>> table2_defenses(
+    std::uint64_t seed) {
+  std::vector<std::unique_ptr<InputDefense>> out;
+  out.push_back(std::make_unique<IdentityDefense>());
+  out.push_back(std::make_unique<MedianBlurDefense>(3));
+  out.push_back(std::make_unique<RandomizationDefense>(seed));
+  out.push_back(std::make_unique<BitDepthDefense>(3));
+  return out;
+}
+
+}  // namespace advp::defenses

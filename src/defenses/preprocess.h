@@ -1,0 +1,97 @@
+// Input-level image-processing defenses (paper §IV-A, Table II):
+// median blurring and bit-depth reduction (feature squeezing, Xu et al.)
+// and randomization (random resize + pad + noise, Xie et al.).
+//
+// Each defense is a pure function Image -> Image applied before inference;
+// the common interface lets the Table II bench iterate attack x defense.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "image/proc.h"
+
+namespace advp::defenses {
+
+/// Interface for input-preprocessing defenses.
+class InputDefense {
+ public:
+  virtual ~InputDefense() = default;
+  virtual Image apply(const Image& img) const = 0;
+  virtual std::string name() const = 0;
+};
+
+class IdentityDefense : public InputDefense {
+ public:
+  Image apply(const Image& img) const override { return img; }
+  std::string name() const override { return "None"; }
+};
+
+class MedianBlurDefense : public InputDefense {
+ public:
+  explicit MedianBlurDefense(int kernel = 3) : kernel_(kernel) {}
+  Image apply(const Image& img) const override {
+    return median_blur(img, kernel_);
+  }
+  std::string name() const override { return "Median Blurring"; }
+
+ private:
+  int kernel_;
+};
+
+class BitDepthDefense : public InputDefense {
+ public:
+  explicit BitDepthDefense(int bits = 3) : bits_(bits) {}
+  Image apply(const Image& img) const override {
+    return bit_depth_reduce(img, bits_);
+  }
+  std::string name() const override { return "Bit Depth"; }
+
+ private:
+  int bits_;
+};
+
+/// Stochastic: each apply() call draws a fresh transform, which is the
+/// mechanism (gradient obfuscation via randomness) of Xie et al.'s defense.
+class RandomizationDefense : public InputDefense {
+ public:
+  RandomizationDefense(float scale_lo, float scale_hi, float noise_sigma,
+                       std::uint64_t seed)
+      : scale_lo_(scale_lo),
+        scale_hi_(scale_hi),
+        noise_sigma_(noise_sigma),
+        rng_(seed) {}
+  explicit RandomizationDefense(std::uint64_t seed = 99)
+      : RandomizationDefense(0.8f, 1.1f, 0.01f, seed) {}
+
+  Image apply(const Image& img) const override {
+    return randomize_transform(img, scale_lo_, scale_hi_, noise_sigma_, rng_);
+  }
+  std::string name() const override { return "Randomization"; }
+
+ private:
+  float scale_lo_, scale_hi_, noise_sigma_;
+  mutable Rng rng_;
+};
+
+/// JPEG-style compression (8x8 block DCT quantization). Not in the
+/// paper's Table II roster but a standard comparison point in the defense
+/// literature; included in bench/ablation_future_work.
+class JpegDefense : public InputDefense {
+ public:
+  explicit JpegDefense(int quality = 50) : quality_(quality) {}
+  Image apply(const Image& img) const override {
+    return jpeg_like_compress(img, quality_);
+  }
+  std::string name() const override { return "JPEG"; }
+
+ private:
+  int quality_;
+};
+
+/// The roster evaluated in Table II, in paper order.
+std::vector<std::unique_ptr<InputDefense>> table2_defenses(std::uint64_t seed);
+
+}  // namespace advp::defenses

@@ -1,0 +1,70 @@
+#include "eval/attack_metrics.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace advp::eval {
+
+PerturbationStats perturbation_stats(const Image& clean, const Image& adv,
+                                     float touch_threshold) {
+  ADVP_CHECK(clean.width() == adv.width() && clean.height() == adv.height());
+  PerturbationStats s;
+  double l2 = 0.0, mean = 0.0;
+  int touched = 0;
+  const int pixels = clean.width() * clean.height();
+  for (int y = 0; y < clean.height(); ++y)
+    for (int x = 0; x < clean.width(); ++x) {
+      bool pixel_touched = false;
+      for (int c = 0; c < 3; ++c) {
+        const float d = std::fabs(adv.at(x, y, c) - clean.at(x, y, c));
+        s.linf = std::max(s.linf, d);
+        l2 += static_cast<double>(d) * d;
+        mean += d;
+        if (d > touch_threshold) pixel_touched = true;
+      }
+      if (pixel_touched) ++touched;
+    }
+  s.l2 = static_cast<float>(std::sqrt(l2));
+  s.mean_abs = static_cast<float>(mean / (3.0 * pixels));
+  s.touched_fraction =
+      static_cast<float>(touched) / static_cast<float>(pixels);
+  return s;
+}
+
+namespace {
+bool covered(const Box& gt, const std::vector<models::Detection>& dets,
+             float iou_thr) {
+  for (const auto& d : dets)
+    if (iou(gt, d.box) >= iou_thr) return true;
+  return false;
+}
+}  // namespace
+
+float detection_attack_success_rate(const std::vector<AsrInput>& inputs,
+                                    float iou_thr) {
+  int eligible = 0, hidden = 0;
+  for (const auto& in : inputs)
+    for (const Box& gt : in.ground_truth) {
+      if (!covered(gt, in.clean_detections, iou_thr)) continue;  // never seen
+      ++eligible;
+      if (!covered(gt, in.adv_detections, iou_thr)) ++hidden;
+    }
+  return eligible == 0 ? 0.f
+                       : static_cast<float>(hidden) /
+                             static_cast<float>(eligible);
+}
+
+float regression_attack_success_rate(const std::vector<float>& clean_pred,
+                                     const std::vector<float>& adv_pred,
+                                     float threshold_m) {
+  ADVP_CHECK(clean_pred.size() == adv_pred.size());
+  if (clean_pred.empty()) return 0.f;
+  int success = 0;
+  for (std::size_t i = 0; i < clean_pred.size(); ++i)
+    if (std::fabs(adv_pred[i] - clean_pred[i]) > threshold_m) ++success;
+  return static_cast<float>(success) /
+         static_cast<float>(clean_pred.size());
+}
+
+}  // namespace advp::eval

@@ -1,0 +1,42 @@
+// Attack-quality metrics a released toolkit needs beyond the paper's
+// task metrics: perturbation budgets actually spent (stealth) and attack
+// success rates on both tasks.
+#pragma once
+
+#include <vector>
+
+#include "image/image.h"
+#include "models/tiny_yolo.h"
+
+namespace advp::eval {
+
+/// Norms of (adv - clean), plus the fraction of pixels touched.
+struct PerturbationStats {
+  float linf = 0.f;
+  float l2 = 0.f;
+  float mean_abs = 0.f;
+  float touched_fraction = 0.f;  ///< pixels with any channel changed
+};
+
+PerturbationStats perturbation_stats(const Image& clean, const Image& adv,
+                                     float touch_threshold = 1e-4f);
+
+/// Detection attack success rate: the fraction of ground-truth signs that
+/// were detected in the clean image but are missed (no detection with
+/// IoU >= iou_thr) in the adversarial one — "the sign disappeared".
+struct AsrInput {
+  std::vector<Box> ground_truth;
+  std::vector<models::Detection> clean_detections;
+  std::vector<models::Detection> adv_detections;
+};
+
+float detection_attack_success_rate(const std::vector<AsrInput>& inputs,
+                                    float iou_thr = 0.5f);
+
+/// Regression attack success rate: fraction of frames whose prediction
+/// moved by more than `threshold_m` meters (in either direction).
+float regression_attack_success_rate(const std::vector<float>& clean_pred,
+                                     const std::vector<float>& adv_pred,
+                                     float threshold_m = 5.f);
+
+}  // namespace advp::eval

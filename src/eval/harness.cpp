@@ -1,0 +1,135 @@
+#include "eval/harness.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace advp::eval {
+
+Harness::Harness(HarnessConfig config) : config_(std::move(config)) {}
+
+const data::SignDataset& Harness::sign_train() {
+  if (!sign_train_)
+    sign_train_ = std::make_unique<data::SignDataset>(
+        data::make_sign_dataset(config_.sign_train, config_.seed + 1));
+  return *sign_train_;
+}
+
+const data::SignDataset& Harness::sign_test() {
+  if (!sign_test_)
+    sign_test_ = std::make_unique<data::SignDataset>(
+        data::make_sign_dataset(config_.sign_test, config_.seed + 2));
+  return *sign_test_;
+}
+
+const data::DrivingDataset& Harness::drive_train() {
+  if (!drive_train_)
+    drive_train_ = std::make_unique<data::DrivingDataset>(
+        data::make_driving_dataset(config_.drive_train, config_.seed + 3));
+  return *drive_train_;
+}
+
+const std::vector<std::vector<data::DrivingFrame>>&
+Harness::eval_sequences() {
+  if (!sequences_) {
+    sequences_ =
+        std::make_unique<std::vector<std::vector<data::DrivingFrame>>>();
+    data::DrivingSceneGenerator gen;
+    std::uint64_t s = config_.seed + 100;
+    for (float d0 : {16.f, 36.f, 56.f, 76.f})
+      for (int k = 0; k < config_.sequences_per_bin; ++k)
+        sequences_->push_back(gen.generate_sequence(
+            config_.frames_per_sequence, d0, -3.f, config_.sequence_dt, s++));
+  }
+  return *sequences_;
+}
+
+const data::DrivingDataset& Harness::drive_test() {
+  if (!drive_test_) {
+    drive_test_ = std::make_unique<data::DrivingDataset>();
+    for (const auto& seq : eval_sequences())
+      for (const auto& f : seq) drive_test_->frames.push_back(f);
+  }
+  return *drive_test_;
+}
+
+models::TinyYolo& Harness::detector() {
+  if (!detector_) {
+    Rng rng(config_.seed + 10);
+    detector_ =
+        std::make_unique<models::TinyYolo>(models::TinyYoloConfig{}, rng);
+    models::TrainConfig tc;
+    tc.epochs = config_.detector_epochs;
+    tc.lr = 2e-3f;
+    tc.seed = config_.seed + 11;
+    const std::string key = "base_detector_" + config_.cache_tag;
+    models::cached_weights(config_.cache_dir, key, detector_->params(), [&] {
+      std::printf("[harness] training base detector (%d scenes, %d epochs)...\n",
+                  config_.sign_train, tc.epochs);
+      models::train_detector(*detector_, sign_train(), tc);
+    });
+  }
+  return *detector_;
+}
+
+models::DistNet& Harness::distnet() {
+  if (!distnet_) {
+    Rng rng(config_.seed + 20);
+    distnet_ = std::make_unique<models::DistNet>(models::DistNetConfig{}, rng);
+    models::TrainConfig tc;
+    tc.epochs = config_.distnet_epochs;
+    tc.lr = 2e-3f;
+    tc.seed = config_.seed + 21;
+    const std::string key = "base_distnet_" + config_.cache_tag;
+    models::cached_weights(config_.cache_dir, key, distnet_->params(), [&] {
+      std::printf("[harness] training base distnet (%d frames, %d epochs)...\n",
+                  config_.drive_train, tc.epochs);
+      models::train_distnet(*distnet_, drive_train(), tc);
+    });
+  }
+  return *distnet_;
+}
+
+DetectionMetrics Harness::evaluate_sign_task(models::TinyYolo& model,
+                                             const data::SignDataset& test,
+                                             const SceneAttack& attack,
+                                             const ImageTransform& defense) {
+  std::vector<DetectionRecord> records;
+  records.reserve(test.size());
+  for (const auto& scene : test.scenes) {
+    Image img = attack ? attack(scene) : scene.image;
+    if (defense) img = defense(img);
+    DetectionRecord rec;
+    rec.ground_truth = scene.stop_signs;
+    rec.detections = model.detect(img.to_batch(), kApGatherConf)[0];
+    records.push_back(std::move(rec));
+  }
+  return evaluate_detections(records, 0.5f, kPrConf);
+}
+
+Harness::DistanceEval Harness::evaluate_distance_task(
+    models::DistNet& model, const SequenceAttackFactory& attack,
+    const ImageTransform& defense) {
+  std::vector<float> dists, errors;
+  double abs_acc = 0.0;
+  for (const auto& seq : eval_sequences()) {
+    FrameAttack frame_attack = attack ? attack() : FrameAttack();
+    for (const auto& frame : seq) {
+      const float clean = model.predict(frame.image.to_batch())[0];
+      Image img = frame_attack ? frame_attack(frame) : frame.image;
+      if (defense) img = defense(img);
+      const float pred = model.predict(img.to_batch())[0];
+      dists.push_back(frame.distance);
+      errors.push_back(pred - clean);
+      abs_acc += std::fabs(pred - clean);
+    }
+  }
+  DistanceEval ev;
+  ev.bin_means =
+      binned_mean_error(dists, errors, paper_distance_bins(), &ev.bin_counts);
+  ev.overall_mean_abs =
+      dists.empty() ? 0.f : static_cast<float>(abs_acc / dists.size());
+  return ev;
+}
+
+}  // namespace advp::eval

@@ -1,0 +1,106 @@
+// Experiment harness shared by the bench binaries: standard corpora, the
+// two cached base models, and the evaluation loops behind every table.
+//
+// Base-model weights are cached under ./advp_cache keyed by a config tag,
+// so the first bench run trains once and later runs (and other bench
+// binaries) start instantly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "models/distnet.h"
+#include "models/tiny_yolo.h"
+#include "models/zoo.h"
+
+namespace advp::eval {
+
+struct HarnessConfig {
+  // Sign-detection corpus (stands in for the paper's 416 stop-sign images).
+  int sign_train = 300;
+  int sign_test = 60;
+  int detector_epochs = 50;
+  // Driving corpus (stands in for the paper's 9600 comma2k19 frames).
+  int drive_train = 320;
+  int distnet_epochs = 30;
+  // Evaluation sequences: per starting distance {16,36,56,76} m.
+  int sequences_per_bin = 2;
+  int frames_per_sequence = 20;
+  float sequence_dt = 0.1f;
+  std::uint64_t seed = 1234;
+  std::string cache_dir = models::default_cache_dir();
+  std::string cache_tag = "v1";
+};
+
+/// Image -> Image stage (attack output, defense, or both chained).
+using ImageTransform = std::function<Image(const Image&)>;
+/// Per-scene attack for the detection task (sees ground truth for the
+/// white-box loss).
+using SceneAttack = std::function<Image(const data::SignScene&)>;
+/// Per-frame attack for the regression task; invoked in sequence order so
+/// stateful attacks (CAP) can carry their patch across frames.
+using FrameAttack =
+    std::function<Image(const data::DrivingFrame&)>;
+/// Factory producing a fresh FrameAttack per sequence (resets CAP state).
+using SequenceAttackFactory = std::function<FrameAttack()>;
+
+class Harness {
+ public:
+  explicit Harness(HarnessConfig config = {});
+
+  /// Base detector, trained on the clean sign corpus (cached).
+  models::TinyYolo& detector();
+  /// Base distance regressor, trained on the clean driving corpus (cached).
+  models::DistNet& distnet();
+
+  const data::SignDataset& sign_train();
+  const data::SignDataset& sign_test();
+  const data::DrivingDataset& drive_train();
+  /// Temporally-coherent evaluation sequences covering all distance bins.
+  const std::vector<std::vector<data::DrivingFrame>>& eval_sequences();
+  /// The same sequences flattened to i.i.d. frames.
+  const data::DrivingDataset& drive_test();
+
+  const HarnessConfig& config() const { return config_; }
+
+  /// Runs `model` over `test` after applying `attack` then `defense`
+  /// (either may be null) and scores detection metrics. Detections are
+  /// gathered at a low confidence for a faithful AP while precision/recall
+  /// use the 0.5-confidence operating point.
+  DetectionMetrics evaluate_sign_task(models::TinyYolo& model,
+                                      const data::SignDataset& test,
+                                      const SceneAttack& attack,
+                                      const ImageTransform& defense);
+
+  struct DistanceEval {
+    std::vector<float> bin_means;   ///< mean (pred_attacked - pred_clean)
+    std::vector<int> bin_counts;
+    float overall_mean_abs = 0.f;
+  };
+
+  /// Runs `model` over the evaluation sequences: per frame, the clean
+  /// prediction is compared against the prediction after attack+defense.
+  /// Errors are binned by true distance into the paper's ranges.
+  DistanceEval evaluate_distance_task(models::DistNet& model,
+                                      const SequenceAttackFactory& attack,
+                                      const ImageTransform& defense);
+
+ private:
+  HarnessConfig config_;
+  std::unique_ptr<models::TinyYolo> detector_;
+  std::unique_ptr<models::DistNet> distnet_;
+  std::unique_ptr<data::SignDataset> sign_train_, sign_test_;
+  std::unique_ptr<data::DrivingDataset> drive_train_, drive_test_;
+  std::unique_ptr<std::vector<std::vector<data::DrivingFrame>>> sequences_;
+};
+
+/// Confidence used when gathering detections for AP computation.
+inline constexpr float kApGatherConf = 0.10f;
+/// Operating-point confidence for precision/recall.
+inline constexpr float kPrConf = 0.50f;
+
+}  // namespace advp::eval

@@ -1,0 +1,138 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace advp::eval {
+
+namespace {
+
+/// One scored detection with its image index.
+struct Scored {
+  float score;
+  std::size_t image;
+  std::size_t det_index;
+};
+
+}  // namespace
+
+DetectionMetrics evaluate_detections(
+    const std::vector<DetectionRecord>& records, float iou_thr,
+    float pr_conf) {
+  DetectionMetrics m;
+  // Gather all detections, sort by score descending.
+  std::vector<Scored> all;
+  int total_gt = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    total_gt += static_cast<int>(records[i].ground_truth.size());
+    for (std::size_t d = 0; d < records[i].detections.size(); ++d)
+      all.push_back({records[i].detections[d].score, i, d});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Scored& a, const Scored& b) { return a.score > b.score; });
+
+  // Greedy matching: each GT box may be claimed once.
+  std::vector<std::vector<bool>> claimed(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i)
+    claimed[i].assign(records[i].ground_truth.size(), false);
+
+  std::vector<int> tp_flags;
+  tp_flags.reserve(all.size());
+  for (const Scored& s : all) {
+    const auto& rec = records[s.image];
+    const Box& det = rec.detections[s.det_index].box;
+    float best_iou = 0.f;
+    int best_gt = -1;
+    for (std::size_t g = 0; g < rec.ground_truth.size(); ++g) {
+      const float v = iou(det, rec.ground_truth[g]);
+      if (v > best_iou) {
+        best_iou = v;
+        best_gt = static_cast<int>(g);
+      }
+    }
+    if (best_gt >= 0 && best_iou >= iou_thr &&
+        !claimed[s.image][static_cast<std::size_t>(best_gt)]) {
+      claimed[s.image][static_cast<std::size_t>(best_gt)] = true;
+      tp_flags.push_back(1);
+    } else {
+      tp_flags.push_back(0);
+    }
+  }
+
+  // Precision / recall at the operating threshold: only detections at or
+  // above pr_conf count. `all` is score-sorted, so those form a prefix of
+  // the matching order restricted to the qualifying subset.
+  int tp = 0, considered = 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i].score < pr_conf) continue;
+    ++considered;
+    tp += tp_flags[i];
+  }
+  const int fp = considered - tp;
+  const int fn = total_gt - tp;
+  m.true_positives = tp;
+  m.false_positives = fp;
+  m.false_negatives = fn;
+  m.precision = considered == 0
+                    ? (total_gt == 0 ? 1.f : 0.f)
+                    : static_cast<float>(tp) / static_cast<float>(considered);
+  m.recall = total_gt == 0 ? 1.f : static_cast<float>(tp) / static_cast<float>(total_gt);
+
+  // AP@50: all-point interpolated area under the PR curve.
+  if (total_gt == 0) {
+    m.map50 = tp_flags.empty() ? 1.f : 0.f;
+    return m;
+  }
+  double ap = 0.0;
+  int cum_tp = 0, cum_all = 0;
+  std::vector<double> precisions, recalls;
+  for (int f : tp_flags) {
+    cum_tp += f;
+    ++cum_all;
+    precisions.push_back(static_cast<double>(cum_tp) / cum_all);
+    recalls.push_back(static_cast<double>(cum_tp) / total_gt);
+  }
+  // Make precision monotone non-increasing from the right.
+  for (int i = static_cast<int>(precisions.size()) - 2; i >= 0; --i)
+    precisions[static_cast<std::size_t>(i)] =
+        std::max(precisions[static_cast<std::size_t>(i)],
+                 precisions[static_cast<std::size_t>(i) + 1]);
+  double prev_recall = 0.0;
+  for (std::size_t i = 0; i < precisions.size(); ++i) {
+    ap += (recalls[i] - prev_recall) * precisions[i];
+    prev_recall = recalls[i];
+  }
+  m.map50 = static_cast<float>(ap);
+  return m;
+}
+
+std::vector<float> binned_mean_error(const std::vector<float>& true_dist,
+                                     const std::vector<float>& errors,
+                                     const std::vector<float>& bin_edges,
+                                     std::vector<int>* counts) {
+  ADVP_CHECK(true_dist.size() == errors.size());
+  ADVP_CHECK(bin_edges.size() >= 2);
+  const std::size_t bins = bin_edges.size() - 1;
+  std::vector<double> sums(bins, 0.0);
+  std::vector<int> n(bins, 0);
+  for (std::size_t i = 0; i < true_dist.size(); ++i) {
+    for (std::size_t b = 0; b < bins; ++b) {
+      if (true_dist[i] >= bin_edges[b] && true_dist[i] < bin_edges[b + 1]) {
+        sums[b] += errors[i];
+        ++n[b];
+        break;
+      }
+    }
+  }
+  std::vector<float> means(bins, 0.f);
+  for (std::size_t b = 0; b < bins; ++b)
+    if (n[b] > 0) means[b] = static_cast<float>(sums[b] / n[b]);
+  if (counts) *counts = n;
+  return means;
+}
+
+std::vector<float> paper_distance_bins() { return {0.f, 20.f, 40.f, 60.f, 80.f}; }
+
+}  // namespace advp::eval

@@ -1,0 +1,50 @@
+// Evaluation metrics matching the paper's reporting:
+//  - detection: mAP@50, Precision, Recall (Fig. 2, Tables II-V)
+//  - regression: mean prediction error binned by true distance (Table I+)
+#pragma once
+
+#include <vector>
+
+#include "image/image.h"
+#include "models/tiny_yolo.h"
+
+namespace advp::eval {
+
+/// Detections + ground truth for one image.
+struct DetectionRecord {
+  std::vector<models::Detection> detections;
+  std::vector<Box> ground_truth;
+};
+
+struct DetectionMetrics {
+  float map50 = 0.f;      ///< average precision at IoU 0.5, in [0,1]
+  float precision = 0.f;  ///< at the detector's confidence threshold
+  float recall = 0.f;
+  int true_positives = 0;
+  int false_positives = 0;
+  int false_negatives = 0;
+};
+
+/// Computes AP@50 over the whole set (all-point interpolation) plus
+/// precision/recall. Greedy highest-score-first matching at IoU >=
+/// `iou_thr`; duplicate hits on a matched ground truth count as false
+/// positives (standard VOC protocol). AP uses every detection given;
+/// precision/recall/TP/FP/FN count only detections with score >= pr_conf,
+/// so records can be gathered at a low confidence for a faithful AP while
+/// P/R reflect the deployment operating point.
+DetectionMetrics evaluate_detections(const std::vector<DetectionRecord>& records,
+                                     float iou_thr = 0.5f,
+                                     float pr_conf = 0.f);
+
+/// Mean signed prediction error per distance bin. `bin_edges` has B+1
+/// entries; frame i falls in the bin containing true_dist[i].
+/// Returns B means; empty bins yield 0 and are flagged in `counts`.
+std::vector<float> binned_mean_error(const std::vector<float>& true_dist,
+                                     const std::vector<float>& errors,
+                                     const std::vector<float>& bin_edges,
+                                     std::vector<int>* counts = nullptr);
+
+/// The paper's four evaluation ranges: [0,20], [20,40], [40,60], [60,80].
+std::vector<float> paper_distance_bins();
+
+}  // namespace advp::eval

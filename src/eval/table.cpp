@@ -1,0 +1,57 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "core/check.h"
+
+namespace advp::eval {
+
+void Table::add_row(std::vector<std::string> cells) {
+  ADVP_CHECK_MSG(cells.size() == header_.size(),
+                 "Table: row arity " << cells.size() << " != header "
+                                     << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c];
+      for (std::size_t k = row[c].size(); k < widths[c]; ++k) os << ' ';
+      os << " |";
+    }
+    os << "\n";
+  };
+  auto print_sep = [&] {
+    os << "+";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      for (std::size_t k = 0; k < widths[c] + 2; ++k) os << '-';
+      os << "+";
+    }
+    os << "\n";
+  };
+
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+}  // namespace advp::eval

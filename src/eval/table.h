@@ -1,0 +1,30 @@
+// ASCII table rendering for bench output — every bench prints the same
+// rows the corresponding paper table reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace advp::eval {
+
+/// Column-aligned ASCII table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a float with `decimals` places.
+  static std::string num(double v, int decimals = 2);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace advp::eval

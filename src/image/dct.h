@@ -1,0 +1,40 @@
+// Orthonormal 2-D DCT-II basis. SimBA's frequency-domain variant samples
+// perturbation directions from the low-frequency end of this basis.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace advp {
+
+/// Precomputed type-II DCT for n-point signals; orthonormal scaling, so
+/// forward followed by inverse is the identity and basis vectors have unit
+/// L2 norm (the property SimBA's perturbation bound relies on).
+class Dct {
+ public:
+  explicit Dct(int n);
+
+  int size() const { return n_; }
+  /// Forward DCT of a length-n signal.
+  std::vector<float> forward(const std::vector<float>& x) const;
+  /// Inverse DCT (DCT-III with orthonormal scaling).
+  std::vector<float> inverse(const std::vector<float>& coeffs) const;
+
+  /// Value of orthonormal basis function k at position i.
+  float basis(int k, int i) const;
+
+ private:
+  int n_;
+  std::vector<float> table_;  // table_[k*n + i] = basis(k, i)
+};
+
+/// Rank-3 [3,H,W] spatial image of the 2-D DCT basis function (u, v) on
+/// channel `channel` (zeros elsewhere); unit L2 norm.
+Tensor dct2_basis_image(int h, int w, int u, int v, int channel);
+
+/// Full 2-D DCT-II of one channel plane (row-major h*w vector).
+std::vector<float> dct2_forward(const std::vector<float>& plane, int h, int w);
+std::vector<float> dct2_inverse(const std::vector<float>& coeffs, int h, int w);
+
+}  // namespace advp

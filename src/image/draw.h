@@ -1,0 +1,51 @@
+// Software rasterizer primitives used by the synthetic scene generators.
+//
+// Everything here is deliberately simple scanline rasterization — enough to
+// render stop signs, distractor signs, road geometry and vehicles with
+// pixel-exact ground truth.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "image/image.h"
+
+namespace advp {
+
+struct Color {
+  float r = 0.f, g = 0.f, b = 0.f;
+};
+
+/// Filled axis-aligned rectangle (clipped to the image).
+void fill_rect(Image& img, const Box& box, Color color, float alpha = 1.f);
+
+/// Filled convex polygon given vertices in order.
+void fill_convex_polygon(Image& img, const std::vector<std::array<float, 2>>& pts,
+                         Color color, float alpha = 1.f);
+
+/// Filled disc.
+void fill_disc(Image& img, float cx, float cy, float radius, Color color,
+               float alpha = 1.f);
+
+/// Regular n-gon centred at (cx, cy) with circumradius r, rotated by
+/// `rotation` radians. n = 8 with rotation pi/8 gives a flat-topped octagon
+/// (a stop sign).
+void fill_regular_polygon(Image& img, float cx, float cy, float radius, int n,
+                          double rotation, Color color, float alpha = 1.f);
+
+/// 1-pixel-wide-ish line from (x0,y0) to (x1,y1).
+void draw_line(Image& img, float x0, float y0, float x1, float y1, Color color,
+               float thickness = 1.f);
+
+/// Horizontal white bar across a sign face — stands in for the "STOP"
+/// legend so stop signs are distinguishable from plain red octagons.
+void draw_sign_legend(Image& img, float cx, float cy, float radius,
+                      Color color);
+
+/// Multiplies all pixels by `gain` and adds `bias` (global lighting).
+void apply_lighting(Image& img, float gain, float bias);
+
+/// Fills the image with a vertical gradient from `top` to `bottom`.
+void fill_vertical_gradient(Image& img, Color top, Color bottom);
+
+}  // namespace advp

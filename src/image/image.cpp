@@ -1,0 +1,147 @@
+#include "image/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "core/check.h"
+
+namespace advp {
+
+float iou(const Box& a, const Box& b) {
+  const float ix = std::max(0.f, std::min(a.right(), b.right()) -
+                                     std::max(a.x, b.x));
+  const float iy = std::max(0.f, std::min(a.bottom(), b.bottom()) -
+                                     std::max(a.y, b.y));
+  const float inter = ix * iy;
+  const float uni = a.area() + b.area() - inter;
+  return uni <= 0.f ? 0.f : inter / uni;
+}
+
+Image::Image(int width, int height, float fill)
+    : width_(width),
+      height_(height),
+      data_(static_cast<std::size_t>(width) * height * 3, fill) {
+  ADVP_CHECK_MSG(width > 0 && height > 0, "Image: bad size");
+}
+
+float& Image::at(int x, int y, int c) {
+  ADVP_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_ && c >= 0 && c < 3);
+  return data_[(static_cast<std::size_t>(y) * width_ + x) * 3 +
+               static_cast<std::size_t>(c)];
+}
+
+float Image::at(int x, int y, int c) const {
+  ADVP_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_ && c >= 0 && c < 3);
+  return data_[(static_cast<std::size_t>(y) * width_ + x) * 3 +
+               static_cast<std::size_t>(c)];
+}
+
+void Image::set_pixel(int x, int y, float r, float g, float b) {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return;
+  at(x, y, 0) = r;
+  at(x, y, 1) = g;
+  at(x, y, 2) = b;
+}
+
+void Image::blend_pixel(int x, int y, float r, float g, float b, float a) {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return;
+  at(x, y, 0) = (1.f - a) * at(x, y, 0) + a * r;
+  at(x, y, 1) = (1.f - a) * at(x, y, 1) + a * g;
+  at(x, y, 2) = (1.f - a) * at(x, y, 2) + a * b;
+}
+
+Tensor Image::to_tensor() const {
+  ADVP_CHECK(!empty());
+  Tensor t({3, height_, width_});
+  for (int c = 0; c < 3; ++c)
+    for (int y = 0; y < height_; ++y)
+      for (int x = 0; x < width_; ++x) t.at(c, y, x) = at(x, y, c);
+  return t;
+}
+
+Tensor Image::to_batch() const {
+  return to_tensor().reshape({1, 3, height_, width_});
+}
+
+Image Image::from_tensor(const Tensor& chw) {
+  ADVP_CHECK(chw.rank() == 3 && chw.dim(0) == 3);
+  const int h = chw.dim(1), w = chw.dim(2);
+  Image img(w, h);
+  for (int c = 0; c < 3; ++c)
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x) img.at(x, y, c) = chw.at(c, y, x);
+  return img;
+}
+
+Image Image::from_batch(const Tensor& nchw, int index) {
+  ADVP_CHECK(nchw.rank() == 4 && nchw.dim(1) == 3);
+  ADVP_CHECK(index >= 0 && index < nchw.dim(0));
+  const int h = nchw.dim(2), w = nchw.dim(3);
+  Image img(w, h);
+  for (int c = 0; c < 3; ++c)
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < w; ++x) img.at(x, y, c) = nchw.at(index, c, y, x);
+  return img;
+}
+
+Image& Image::clamp01() {
+  for (auto& v : data_) v = std::min(1.f, std::max(0.f, v));
+  return *this;
+}
+
+float Image::mean_abs_diff(const Image& other) const {
+  ADVP_CHECK(width_ == other.width_ && height_ == other.height_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    acc += std::fabs(data_[i] - other.data_[i]);
+  return static_cast<float>(acc / static_cast<double>(data_.size()));
+}
+
+Tensor images_to_batch(const std::vector<Image>& images) {
+  ADVP_CHECK(!images.empty());
+  const int h = images[0].height(), w = images[0].width();
+  Tensor batch({static_cast<int>(images.size()), 3, h, w});
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    ADVP_CHECK(images[i].width() == w && images[i].height() == h);
+    for (int c = 0; c < 3; ++c)
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+          batch.at(static_cast<int>(i), c, y, x) = images[i].at(x, y, c);
+  }
+  return batch;
+}
+
+void write_ppm(const Image& img, const std::string& path) {
+  ADVP_CHECK(!img.empty());
+  std::ofstream os(path, std::ios::binary);
+  ADVP_CHECK_MSG(os.good(), "write_ppm: cannot open " << path);
+  os << "P6\n" << img.width() << " " << img.height() << "\n255\n";
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x)
+      for (int c = 0; c < 3; ++c) {
+        const float v = std::min(1.f, std::max(0.f, img.at(x, y, c)));
+        os.put(static_cast<char>(std::lround(v * 255.f)));
+      }
+}
+
+Image read_ppm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  ADVP_CHECK_MSG(is.good(), "read_ppm: cannot open " << path);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  is >> magic >> w >> h >> maxval;
+  ADVP_CHECK_MSG(magic == "P6" && maxval == 255, "read_ppm: unsupported format");
+  is.get();  // single whitespace after header
+  Image img(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      for (int c = 0; c < 3; ++c) {
+        const int byte = is.get();
+        ADVP_CHECK_MSG(byte >= 0, "read_ppm: truncated file");
+        img.at(x, y, c) = static_cast<float>(byte) / 255.f;
+      }
+  return img;
+}
+
+}  // namespace advp

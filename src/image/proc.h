@@ -1,0 +1,50 @@
+// Image processing primitives: the building blocks of the paper's
+// input-level defenses (§IV-A) plus general resize/crop/noise utilities
+// used by data generation, attacks (EOT transforms in RP2) and defenses.
+#pragma once
+
+#include "core/rng.h"
+#include "image/image.h"
+
+namespace advp {
+
+/// Median filter with odd kernel size (3 or 5), per channel, edge-clamped.
+Image median_blur(const Image& img, int kernel = 3);
+
+/// Quantizes each channel to `bits` bits (1..8).
+Image bit_depth_reduce(const Image& img, int bits = 3);
+
+/// Adds i.i.d. Gaussian noise of std `sigma` and clamps to [0,1].
+Image add_gaussian_noise(const Image& img, float sigma, Rng& rng);
+
+/// Bilinear resize to (new_w, new_h).
+Image resize_bilinear(const Image& img, int new_w, int new_h);
+
+/// Random resize by a factor in [scale_lo, scale_hi], then random-pad /
+/// center-crop back to the original size (Xie et al.'s randomization
+/// defense), optionally adding noise of std `noise_sigma`.
+Image randomize_transform(const Image& img, float scale_lo, float scale_hi,
+                          float noise_sigma, Rng& rng);
+
+/// Crops (clipped to bounds); returns a (possibly smaller) image.
+Image crop(const Image& img, const Box& box);
+
+/// Pastes `patch` with its top-left corner at (x, y), clipped.
+void paste(Image& dst, const Image& patch, int x, int y);
+
+/// Rotates by `radians` about the image centre (bilinear, edges filled
+/// with the border pixel). Used by RP2's expectation-over-transforms.
+Image rotate(const Image& img, float radians);
+
+/// Per-pixel absolute difference, averaged over channels -> grayscale map.
+std::vector<float> abs_diff_map(const Image& a, const Image& b);
+
+/// JPEG-style lossy compression: 8x8 block DCT per channel, coefficients
+/// quantized by a quality-scaled table (quality in [1,100]; lower = more
+/// aggressive), then reconstructed. A classic input-level defense — the
+/// quantizer annihilates the high-frequency structure most pixel-space
+/// attacks rely on. Image dimensions need not be multiples of 8 (edge
+/// blocks are processed clamped).
+Image jpeg_like_compress(const Image& img, int quality = 50);
+
+}  // namespace advp

@@ -1,0 +1,70 @@
+// DistNet: lead-vehicle relative-distance regressor standing in for the
+// distance head of OpenPilot's Supercombo model (paper §V-B1; DESIGN.md §2
+// documents the substitution).
+//
+// Conv+BN+SiLU blocks with pooling, then Flatten + 2-layer MLP with a
+// linear head in normalized units (meters / distance_scale). Predictions
+// are clamped to [0, 1.5 * distance_scale] at the API boundary; the
+// gradient surface attacks see is linear, so attack impact scales with
+// the lead-vehicle patch area (the paper's close-range-worst geometry).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "nn/layers.h"
+#include "tensor/tensor.h"
+
+namespace advp::models {
+
+struct DistNetConfig {
+  int width = 96;
+  int height = 48;
+  int c1 = 12, c2 = 24, c3 = 48;
+  int hidden = 48;
+  float distance_scale = 100.f;  ///< meters per normalized unit
+};
+
+/// Scalar loss + input-batch gradient (same struct as the detector's).
+struct DistLossGrad {
+  float loss = 0.f;
+  Tensor grad;
+};
+
+class DistNet {
+ public:
+  DistNet(DistNetConfig config, Rng& rng);
+
+  /// Predicted distances (meters), one per batch image. Eval mode.
+  std::vector<float> predict(const Tensor& batch);
+
+  /// Smooth-L1 regression loss on normalized distances; accumulates
+  /// parameter gradients and returns d(loss)/d(input). Optional per-sample
+  /// `weights` rescale each frame's contribution (distance-aware
+  /// adversarial training — the paper's §V-C2 future-work direction);
+  /// empty means uniform.
+  DistLossGrad loss_backward(const Tensor& batch,
+                             const std::vector<float>& target_m, bool train,
+                             const std::vector<float>& weights = {});
+
+  /// d(sum of predicted distances)/d(input): the white-box oracle for
+  /// attacks that push the predicted distance in a chosen direction.
+  DistLossGrad prediction_grad(const Tensor& batch);
+
+  const DistNetConfig& config() const { return config_; }
+  std::vector<nn::Param*> params();
+  void zero_grad();
+  nn::Sequential& net() { return *net_; }
+
+ private:
+  /// Shared forward producing normalized linear outputs [N,1] and caching
+  /// for backward.
+  Tensor forward_normalized(const Tensor& batch, bool train);
+
+  DistNetConfig config_;
+  std::unique_ptr<nn::Sequential> net_;  // ends at Linear -> [N,1] logits
+  Tensor logit_cache_;
+};
+
+}  // namespace advp::models

@@ -1,0 +1,102 @@
+#include "models/zoo.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/check.h"
+#include "nn/optim.h"
+#include "nn/serialize.h"
+
+namespace advp::models {
+
+float train_detector(TinyYolo& model, const data::SignDataset& train,
+                     const TrainConfig& cfg) {
+  ADVP_CHECK(!train.scenes.empty());
+  Rng rng(cfg.seed);
+  nn::Adam opt(model.params(), cfg.lr);
+  float last_epoch_loss = 0.f;
+  const std::size_t n = train.scenes.size();
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    auto order = rng.permutation(n);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (std::size_t start = 0; start < n;
+         start += static_cast<std::size_t>(cfg.batch_size)) {
+      const std::size_t end =
+          std::min(n, start + static_cast<std::size_t>(cfg.batch_size));
+      std::vector<Image> images;
+      std::vector<std::vector<Box>> targets;
+      for (std::size_t k = start; k < end; ++k) {
+        const auto& scene = train.scenes[order[k]];
+        images.push_back(scene.image);
+        targets.push_back(scene.stop_signs);
+      }
+      Tensor batch = images_to_batch(images);
+      opt.zero_grad();
+      auto r = model.loss_backward(batch, targets, /*train=*/true);
+      nn::clip_grad_norm(model.params(), 5.f);
+      opt.step();
+      epoch_loss += r.loss;
+      ++batches;
+    }
+    last_epoch_loss = static_cast<float>(epoch_loss / std::max(1, batches));
+    if (cfg.verbose)
+      std::printf("  [detector] epoch %2d loss %.4f\n", epoch,
+                  last_epoch_loss);
+  }
+  return last_epoch_loss;
+}
+
+float train_distnet(DistNet& model, const data::DrivingDataset& train,
+                    const TrainConfig& cfg) {
+  ADVP_CHECK(!train.frames.empty());
+  Rng rng(cfg.seed);
+  nn::Adam opt(model.params(), cfg.lr);
+  float last_epoch_loss = 0.f;
+  const std::size_t n = train.frames.size();
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    auto order = rng.permutation(n);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (std::size_t start = 0; start < n;
+         start += static_cast<std::size_t>(cfg.batch_size)) {
+      const std::size_t end =
+          std::min(n, start + static_cast<std::size_t>(cfg.batch_size));
+      std::vector<Image> images;
+      std::vector<float> targets;
+      for (std::size_t k = start; k < end; ++k) {
+        const auto& frame = train.frames[order[k]];
+        images.push_back(frame.image);
+        targets.push_back(frame.distance);
+      }
+      Tensor batch = images_to_batch(images);
+      opt.zero_grad();
+      auto r = model.loss_backward(batch, targets, /*train=*/true);
+      nn::clip_grad_norm(model.params(), 5.f);
+      opt.step();
+      epoch_loss += r.loss;
+      ++batches;
+    }
+    last_epoch_loss = static_cast<float>(epoch_loss / std::max(1, batches));
+    if (cfg.verbose)
+      std::printf("  [distnet] epoch %2d loss %.5f\n", epoch,
+                  last_epoch_loss);
+  }
+  return last_epoch_loss;
+}
+
+bool cached_weights(const std::string& cache_dir, const std::string& key,
+                    const std::vector<nn::Param*>& params,
+                    const std::function<void()>& train_fn) {
+  namespace fs = std::filesystem;
+  fs::create_directories(cache_dir);
+  const std::string path = cache_dir + "/" + key + ".bin";
+  if (nn::load_params_file(params, path)) return true;
+  train_fn();
+  nn::save_params_file(params, path);
+  return false;
+}
+
+std::string default_cache_dir() { return "advp_cache"; }
+
+}  // namespace advp::models

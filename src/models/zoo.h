@@ -1,0 +1,40 @@
+// Training routines for the two perception models, plus an on-disk weight
+// cache so every bench binary doesn't re-train identical base models.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "data/dataset.h"
+#include "models/distnet.h"
+#include "models/tiny_yolo.h"
+
+namespace advp::models {
+
+struct TrainConfig {
+  int epochs = 30;
+  int batch_size = 16;
+  float lr = 1e-3f;  ///< Adam learning rate
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+/// Trains the detector on scene/box pairs; returns final epoch mean loss.
+float train_detector(TinyYolo& model, const data::SignDataset& train,
+                     const TrainConfig& cfg);
+
+/// Trains the regressor on frame/distance pairs; returns final epoch mean
+/// loss.
+float train_distnet(DistNet& model, const data::DrivingDataset& train,
+                    const TrainConfig& cfg);
+
+/// Loads weights from `<cache_dir>/<key>.bin` if present; otherwise runs
+/// `train_fn` and saves. Returns true when the cache hit.
+bool cached_weights(const std::string& cache_dir, const std::string& key,
+                    const std::vector<nn::Param*>& params,
+                    const std::function<void()>& train_fn);
+
+/// Default cache directory (created on demand): "./advp_cache".
+std::string default_cache_dir();
+
+}  // namespace advp::models

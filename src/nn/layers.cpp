@@ -1,0 +1,337 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace advp::nn {
+
+namespace {
+Tensor he_init(std::vector<int> shape, int fan_in, Rng& rng) {
+  const float sigma = std::sqrt(2.f / static_cast<float>(fan_in));
+  return Tensor::randn(std::move(shape), rng, sigma);
+}
+}  // namespace
+
+// ---- Conv2d ---------------------------------------------------------------
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               int pad, Rng& rng)
+    : spec_{in_channels, out_channels, kernel, stride, pad},
+      w_("conv.w", he_init({out_channels, in_channels, kernel, kernel},
+                           in_channels * kernel * kernel, rng)),
+      b_("conv.b", Tensor({out_channels})) {}
+
+Tensor Conv2d::forward(const Tensor& x, bool) {
+  x_cache_ = x;
+  return conv2d_forward(x, w_.value, b_.value, spec_);
+}
+
+Tensor Conv2d::backward(const Tensor& dy) {
+  ADVP_CHECK_MSG(!x_cache_.empty(), "Conv2d::backward before forward");
+  Conv2dGrads g = conv2d_backward(x_cache_, w_.value, dy, spec_);
+  w_.grad += g.dw;
+  b_.grad += g.db;
+  return std::move(g.dx);
+}
+
+void Conv2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&w_);
+  out.push_back(&b_);
+}
+
+// ---- Linear ---------------------------------------------------------------
+
+Linear::Linear(int in_features, int out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      w_("linear.w", he_init({out_features, in_features}, in_features, rng)),
+      b_("linear.b", Tensor({out_features})) {}
+
+Tensor Linear::forward(const Tensor& x, bool) {
+  ADVP_CHECK_MSG(x.rank() == 2 && x.dim(1) == in_,
+                 "Linear: expected [N," << in_ << "]");
+  x_cache_ = x;
+  Tensor y = matmul(x, transpose(w_.value));  // [N, out]
+  for (int i = 0; i < y.dim(0); ++i)
+    for (int j = 0; j < out_; ++j) y.at(i, j) += b_.value[static_cast<std::size_t>(j)];
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  ADVP_CHECK_MSG(!x_cache_.empty(), "Linear::backward before forward");
+  ADVP_CHECK(dy.rank() == 2 && dy.dim(1) == out_);
+  // dW = dy^T x ; db = sum rows dy ; dx = dy W
+  w_.grad += matmul(transpose(dy), x_cache_);
+  for (int i = 0; i < dy.dim(0); ++i)
+    for (int j = 0; j < out_; ++j) b_.grad[static_cast<std::size_t>(j)] += dy.at(i, j);
+  return matmul(dy, w_.value);
+}
+
+void Linear::collect_params(std::vector<Param*>& out) {
+  out.push_back(&w_);
+  out.push_back(&b_);
+}
+
+// ---- activations ------------------------------------------------------------
+
+Tensor ReLU::forward(const Tensor& x, bool) {
+  x_cache_ = x;
+  const float s = slope_;
+  return x.map([s](float v) { return v > 0.f ? v : s * v; });
+}
+
+Tensor ReLU::backward(const Tensor& dy) {
+  ADVP_CHECK(dy.same_shape(x_cache_));
+  Tensor dx = dy;
+  for (std::size_t i = 0; i < dx.numel(); ++i)
+    if (x_cache_[i] <= 0.f) dx[i] *= slope_;
+  return dx;
+}
+
+Tensor SiLU::forward(const Tensor& x, bool) {
+  x_cache_ = x;
+  return x.map([](float v) { return v * sigmoidf(v); });
+}
+
+Tensor SiLU::backward(const Tensor& dy) {
+  ADVP_CHECK(dy.same_shape(x_cache_));
+  Tensor dx = dy;
+  for (std::size_t i = 0; i < dx.numel(); ++i) {
+    const float s = sigmoidf(x_cache_[i]);
+    dx[i] *= s * (1.f + x_cache_[i] * (1.f - s));
+  }
+  return dx;
+}
+
+// ---- pooling / shape --------------------------------------------------------
+
+Tensor MaxPool2x2::forward(const Tensor& x, bool) {
+  in_shape_ = x.shape();
+  return maxpool2x2_forward(x, &argmax_);
+}
+
+Tensor MaxPool2x2::backward(const Tensor& dy) {
+  return maxpool2x2_backward(dy, argmax_, in_shape_);
+}
+
+Tensor Upsample2x::forward(const Tensor& x, bool) {
+  return upsample2x_forward(x);
+}
+
+Tensor Upsample2x::backward(const Tensor& dy) {
+  return upsample2x_backward(dy);
+}
+
+Tensor Flatten::forward(const Tensor& x, bool) {
+  in_shape_ = x.shape();
+  ADVP_CHECK(x.rank() >= 2);
+  return x.reshape({x.dim(0), -1});
+}
+
+Tensor Flatten::backward(const Tensor& dy) { return dy.reshape(in_shape_); }
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool) {
+  in_shape_ = x.shape();
+  return global_avgpool_forward(x);
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& dy) {
+  return global_avgpool_backward(dy, in_shape_);
+}
+
+// ---- BatchNorm2d -------------------------------------------------------------
+
+BatchNorm2d::BatchNorm2d(int channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_("bn.gamma", Tensor::ones({channels})),
+      beta_("bn.beta", Tensor({channels})),
+      running_mean_("bn.running_mean", Tensor({channels})),
+      running_var_("bn.running_var", Tensor::ones({channels})) {}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  ADVP_CHECK(x.rank() == 4 && x.dim(1) == channels_);
+  in_shape_ = x.shape();
+  const int n = x.dim(0), c = channels_, h = x.dim(2), w = x.dim(3);
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  Tensor mean({c}), var({c});
+  if (train) {
+    for (int cc = 0; cc < c; ++cc) {
+      double s = 0.0, s2 = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const float* p = x.data() + (static_cast<std::size_t>(i) * c + cc) * plane;
+        for (std::size_t j = 0; j < plane; ++j) {
+          s += p[j];
+          s2 += static_cast<double>(p[j]) * p[j];
+        }
+      }
+      const double cnt = static_cast<double>(n) * static_cast<double>(plane);
+      const double m = s / cnt;
+      mean[static_cast<std::size_t>(cc)] = static_cast<float>(m);
+      var[static_cast<std::size_t>(cc)] =
+          static_cast<float>(std::max(0.0, s2 / cnt - m * m));
+    }
+    for (int cc = 0; cc < c; ++cc) {
+      running_mean_.value[static_cast<std::size_t>(cc)] =
+          (1.f - momentum_) * running_mean_.value[static_cast<std::size_t>(cc)] +
+          momentum_ * mean[static_cast<std::size_t>(cc)];
+      running_var_.value[static_cast<std::size_t>(cc)] =
+          (1.f - momentum_) * running_var_.value[static_cast<std::size_t>(cc)] +
+          momentum_ * var[static_cast<std::size_t>(cc)];
+    }
+  } else {
+    mean = running_mean_.value;
+    var = running_var_.value;
+  }
+
+  inv_std_cache_ = Tensor({c});
+  for (int cc = 0; cc < c; ++cc)
+    inv_std_cache_[static_cast<std::size_t>(cc)] =
+        1.f / std::sqrt(var[static_cast<std::size_t>(cc)] + eps_);
+
+  Tensor y(x.shape());
+  xhat_cache_ = Tensor(x.shape());
+  for (int i = 0; i < n; ++i)
+    for (int cc = 0; cc < c; ++cc) {
+      const float m = mean[static_cast<std::size_t>(cc)];
+      const float is = inv_std_cache_[static_cast<std::size_t>(cc)];
+      const float g = gamma_.value[static_cast<std::size_t>(cc)];
+      const float bt = beta_.value[static_cast<std::size_t>(cc)];
+      const std::size_t base = (static_cast<std::size_t>(i) * c + cc) * plane;
+      for (std::size_t j = 0; j < plane; ++j) {
+        const float xh = (x[base + j] - m) * is;
+        xhat_cache_[base + j] = xh;
+        y[base + j] = g * xh + bt;
+      }
+    }
+  train_cached_ = train;
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& dy) {
+  ADVP_CHECK(!xhat_cache_.empty() && dy.same_shape(xhat_cache_));
+  const int n = in_shape_[0], c = channels_, h = in_shape_[2],
+            w = in_shape_[3];
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  const double cnt = static_cast<double>(n) * static_cast<double>(plane);
+  Tensor dx(dy.shape());
+  for (int cc = 0; cc < c; ++cc) {
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const std::size_t base = (static_cast<std::size_t>(i) * c + cc) * plane;
+      for (std::size_t j = 0; j < plane; ++j) {
+        sum_dy += dy[base + j];
+        sum_dy_xhat += static_cast<double>(dy[base + j]) * xhat_cache_[base + j];
+      }
+    }
+    gamma_.grad[static_cast<std::size_t>(cc)] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[static_cast<std::size_t>(cc)] += static_cast<float>(sum_dy);
+
+    const float g = gamma_.value[static_cast<std::size_t>(cc)];
+    const float is = inv_std_cache_[static_cast<std::size_t>(cc)];
+    if (train_cached_) {
+      for (int i = 0; i < n; ++i) {
+        const std::size_t base = (static_cast<std::size_t>(i) * c + cc) * plane;
+        for (std::size_t j = 0; j < plane; ++j) {
+          const double term = cnt * dy[base + j] - sum_dy -
+                              xhat_cache_[base + j] * sum_dy_xhat;
+          dx[base + j] = static_cast<float>(g * is * term / cnt);
+        }
+      }
+    } else {
+      // Eval mode: statistics are constants.
+      for (int i = 0; i < n; ++i) {
+        const std::size_t base = (static_cast<std::size_t>(i) * c + cc) * plane;
+        for (std::size_t j = 0; j < plane; ++j) dx[base + j] = g * is * dy[base + j];
+      }
+    }
+  }
+  return dx;
+}
+
+void BatchNorm2d::collect_params(std::vector<Param*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+  out.push_back(&running_mean_);
+  out.push_back(&running_var_);
+}
+
+// ---- Dropout ----------------------------------------------------------------
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  train_cache_ = train && p_ > 0.f;
+  if (!train_cache_) return x;
+  mask_ = Tensor(x.shape());
+  const float keep = 1.f - p_;
+  for (std::size_t i = 0; i < mask_.numel(); ++i)
+    mask_[i] = rng_.coin(keep) ? 1.f / keep : 0.f;
+  Tensor y = x;
+  y *= mask_;
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& dy) {
+  if (!train_cache_) return dy;
+  Tensor dx = dy;
+  dx *= mask_;
+  return dx;
+}
+
+// ---- Sequential ---------------------------------------------------------------
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (auto& m : children_) h = m->forward(h, train);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& dy) {
+  Tensor g = dy;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+void Sequential::collect_params(std::vector<Param*>& out) {
+  for (auto& m : children_) m->collect_params(out);
+}
+
+// ---- concat helpers -------------------------------------------------------------
+
+Tensor concat_channels(const Tensor& a, const Tensor& b) {
+  ADVP_CHECK(a.rank() == 4 && b.rank() == 4);
+  ADVP_CHECK(a.dim(0) == b.dim(0) && a.dim(2) == b.dim(2) &&
+             a.dim(3) == b.dim(3));
+  const int n = a.dim(0), ca = a.dim(1), cb = b.dim(1), h = a.dim(2),
+            w = a.dim(3);
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  Tensor y({n, ca + cb, h, w});
+  for (int i = 0; i < n; ++i) {
+    float* dst = y.data() + static_cast<std::size_t>(i) * (ca + cb) * plane;
+    const float* pa = a.data() + static_cast<std::size_t>(i) * ca * plane;
+    const float* pb = b.data() + static_cast<std::size_t>(i) * cb * plane;
+    std::copy(pa, pa + ca * plane, dst);
+    std::copy(pb, pb + cb * plane, dst + ca * plane);
+  }
+  return y;
+}
+
+void split_channels(const Tensor& dy, int c_a, Tensor* da, Tensor* db) {
+  ADVP_CHECK(dy.rank() == 4 && dy.dim(1) > c_a);
+  const int n = dy.dim(0), c = dy.dim(1), h = dy.dim(2), w = dy.dim(3);
+  const int c_b = c - c_a;
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  *da = Tensor({n, c_a, h, w});
+  *db = Tensor({n, c_b, h, w});
+  for (int i = 0; i < n; ++i) {
+    const float* src = dy.data() + static_cast<std::size_t>(i) * c * plane;
+    std::copy(src, src + c_a * plane,
+              da->data() + static_cast<std::size_t>(i) * c_a * plane);
+    std::copy(src + c_a * plane, src + c * plane,
+              db->data() + static_cast<std::size_t>(i) * c_b * plane);
+  }
+}
+
+}  // namespace advp::nn

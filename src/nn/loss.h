@@ -1,0 +1,40 @@
+// Loss functions. Each returns the scalar loss and the gradient with
+// respect to its first argument, ready to feed into Module::backward.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace advp::nn {
+
+struct LossResult {
+  float value = 0.f;
+  Tensor grad;  ///< d(loss)/d(pred), same shape as pred
+};
+
+/// Mean squared error, averaged over all elements.
+LossResult mse_loss(const Tensor& pred, const Tensor& target);
+
+/// Huber / smooth-L1 with transition point `beta`, averaged over elements.
+LossResult smooth_l1_loss(const Tensor& pred, const Tensor& target,
+                          float beta = 1.f);
+
+/// Elementwise binary cross entropy on logits, with optional per-element
+/// weights (pass empty tensor for uniform). Averaged over weighted count.
+LossResult bce_with_logits_loss(const Tensor& logits, const Tensor& target,
+                                const Tensor& weights = Tensor());
+
+/// Softmax cross entropy over rows of [N,K] with integer labels.
+LossResult cross_entropy_loss(const Tensor& logits,
+                              const std::vector<int>& labels);
+
+/// InfoNCE contrastive loss (SimCLR-style), eq. (10) of the paper.
+///
+/// `embeddings` is [2N, D]: rows 2i and 2i+1 are the two augmented views of
+/// sample i. Embeddings are L2-normalized internally; `temperature` is tau.
+/// An optional `margin` is subtracted from positive-pair similarity before
+/// the softmax (the paper's "multi-positive contrastive loss with a
+/// margin"), which tightens the positive cluster.
+LossResult info_nce_loss(const Tensor& embeddings, float temperature,
+                         float margin = 0.f);
+
+}  // namespace advp::nn

@@ -1,0 +1,63 @@
+// Module abstraction with explicit reverse-mode differentiation.
+//
+// Each Module caches whatever it needs in forward() and returns
+// d(loss)/d(input) from backward(). Parameter gradients accumulate into
+// Param::grad until zero_grad(). Exposing input gradients at every layer is
+// a hard requirement of this library: white-box attacks differentiate the
+// loss w.r.t. the *image*, not the weights.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace advp::nn {
+
+/// A learnable tensor plus its accumulated gradient.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param() = default;
+  Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+};
+
+/// Base class for differentiable layers.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Computes the layer output; `train` toggles dropout/batch-norm modes.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+  /// Propagates d(loss)/d(output) to d(loss)/d(input); accumulates
+  /// parameter gradients. Must be called after a matching forward().
+  virtual Tensor backward(const Tensor& dy) = 0;
+  /// Appends raw pointers to this module's parameters (stable while the
+  /// module is alive).
+  virtual void collect_params(std::vector<Param*>& out) { (void)out; }
+
+  std::vector<Param*> params() {
+    std::vector<Param*> out;
+    collect_params(out);
+    return out;
+  }
+
+  void zero_grad() {
+    for (Param* p : params()) p->grad.fill(0.f);
+  }
+
+  /// Total number of scalar parameters.
+  std::size_t param_count() {
+    std::size_t n = 0;
+    for (Param* p : params()) n += p->value.numel();
+    return n;
+  }
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace advp::nn

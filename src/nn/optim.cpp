@@ -1,0 +1,76 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace advp::nn {
+
+Sgd::Sgd(std::vector<Param*> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params), lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param& p = *params_[k];
+    Tensor& v = velocity_[k];
+    for (std::size_t i = 0; i < p.value.numel(); ++i) {
+      float g = p.grad[i] + weight_decay_ * p.value[i];
+      v[i] = momentum_ * v[i] + g;
+      p.value[i] -= lr_ * v[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Param& p = *params_[k];
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    for (std::size_t i = 0; i < p.value.numel(); ++i) {
+      float g = p.grad[i] + weight_decay_ * p.value[i];
+      m[i] = beta1_ * m[i] + (1.f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.f - beta2_) * g * g;
+      const float mh = m[i] / bc1;
+      const float vh = v[i] / bc2;
+      p.value[i] -= lr_ * mh / (std::sqrt(vh) + eps_);
+    }
+  }
+}
+
+float clip_grad_norm(const std::vector<Param*>& params, float max_norm) {
+  ADVP_CHECK(max_norm > 0.f);
+  double total = 0.0;
+  for (Param* p : params) total += p->grad.sq_norm();
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-12f);
+    for (Param* p : params) p->grad *= scale;
+  }
+  return norm;
+}
+
+}  // namespace advp::nn

@@ -1,0 +1,57 @@
+// First-order optimizers over Module parameters.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace advp::nn {
+
+/// Base optimizer interface: step() consumes accumulated gradients.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params, float lr)
+      : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad() {
+    for (Param* p : params_) p->grad.fill(0.f);
+  }
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ protected:
+  std::vector<Param*> params_;
+  float lr_;
+};
+
+/// SGD with classical momentum and decoupled weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.f);
+  void step() override;
+
+ private:
+  float momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.f);
+  void step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  long step_count_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+/// Global gradient-norm clipping; returns the pre-clip norm.
+float clip_grad_norm(const std::vector<Param*>& params, float max_norm);
+
+}  // namespace advp::nn

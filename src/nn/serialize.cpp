@@ -1,0 +1,99 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "core/check.h"
+
+namespace advp::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x41445650;  // "ADVP"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::istream& is, T* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(is);
+}
+}  // namespace
+
+void save_params(const std::vector<Param*>& params, std::ostream& os) {
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint32_t>(params.size()));
+  for (Param* p : params) {
+    write_pod(os, static_cast<std::uint32_t>(p->value.rank()));
+    for (int d : p->value.shape()) write_pod(os, static_cast<std::int32_t>(d));
+    os.write(reinterpret_cast<const char*>(p->value.data()),
+             static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+}
+
+void load_params(const std::vector<Param*>& params, std::istream& is) {
+  std::uint32_t magic = 0, version = 0, count = 0;
+  ADVP_CHECK_MSG(read_pod(is, &magic) && magic == kMagic,
+                 "load_params: bad magic");
+  ADVP_CHECK_MSG(read_pod(is, &version) && version == kVersion,
+                 "load_params: bad version");
+  ADVP_CHECK_MSG(read_pod(is, &count) && count == params.size(),
+                 "load_params: parameter count mismatch");
+  for (Param* p : params) {
+    std::uint32_t rank = 0;
+    ADVP_CHECK(read_pod(is, &rank) &&
+               rank == static_cast<std::uint32_t>(p->value.rank()));
+    for (int d : p->value.shape()) {
+      std::int32_t got = 0;
+      ADVP_CHECK_MSG(read_pod(is, &got) && got == d,
+                     "load_params: shape mismatch for " << p->name);
+    }
+    is.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    ADVP_CHECK_MSG(static_cast<bool>(is), "load_params: truncated stream");
+  }
+}
+
+void save_params(Module& m, std::ostream& os) { save_params(m.params(), os); }
+void load_params(Module& m, std::istream& is) { load_params(m.params(), is); }
+
+void save_params_file(const std::vector<Param*>& params,
+                      const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  ADVP_CHECK_MSG(os.good(), "save_params_file: cannot open " << path);
+  save_params(params, os);
+}
+
+bool load_params_file(const std::vector<Param*>& params,
+                      const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
+  try {
+    load_params(params, is);
+  } catch (const CheckError&) {
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t param_fingerprint(const std::vector<Param*>& params) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (Param* p : params) {
+    const auto* bytes =
+        reinterpret_cast<const unsigned char*>(p->value.data());
+    const std::size_t n = p->value.numel() * sizeof(float);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace advp::nn

@@ -1,0 +1,34 @@
+// Binary (de)serialization of parameters, plus a content hash used by the
+// model zoo's on-disk weight cache. Works on raw parameter lists so
+// composite models (backbone + head) serialize as easily as single Modules.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace advp::nn {
+
+/// Writes parameters (in list order) to a stream.
+void save_params(const std::vector<Param*>& params, std::ostream& os);
+/// Reads parameters back; shapes must match exactly.
+void load_params(const std::vector<Param*>& params, std::istream& is);
+
+void save_params(Module& m, std::ostream& os);
+void load_params(Module& m, std::istream& is);
+
+/// Convenience file wrappers. load returns false if the file is absent or
+/// malformed (so callers can fall back to training).
+void save_params_file(const std::vector<Param*>& params,
+                      const std::string& path);
+bool load_params_file(const std::vector<Param*>& params,
+                      const std::string& path);
+
+/// FNV-1a hash over parameter data — cheap fingerprint for tests and cache
+/// validation.
+std::uint64_t param_fingerprint(const std::vector<Param*>& params);
+
+}  // namespace advp::nn

@@ -1,0 +1,106 @@
+#include "sim/acc_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace advp::sim {
+
+AccSimulator::AccSimulator(models::DistNet& perception,
+                           data::DrivingSceneGenerator generator,
+                           AccParams params)
+    : perception_(perception),
+      generator_(std::move(generator)),
+      params_(params) {}
+
+float longitudinal_accel(const AccParams& params, float gap_est, float v_ego,
+                         float closing_speed) {
+  const float desired_gap = params.d_min + params.tau_headway * v_ego;
+  const float gap_error = gap_est - desired_gap;
+  // Positive gap error -> speed up (bounded by cruise set-speed tracking).
+  float accel = params.kp * gap_error - params.kv * closing_speed;
+  const float cruise_accel = 0.5f * (params.v_des - v_ego);
+  accel = std::min(accel, cruise_accel);
+  return std::clamp(accel, params.max_brake, params.max_accel);
+}
+
+float AccSimulator::control(float gap_est, float v_ego,
+                            float closing_speed) const {
+  return longitudinal_accel(params_, gap_est, v_ego, closing_speed);
+}
+
+AccResult AccSimulator::run(const AccScenario& sc, Rng& rng,
+                            const FrameHook& attack) {
+  ADVP_CHECK(sc.duration > 0.f && sc.initial_gap > 0.f);
+  AccResult res;
+  res.min_gap = sc.initial_gap;
+  res.min_ttc = 1e9f;
+
+  data::SceneStyle style = generator_.sample_style(rng);
+  float gap = sc.initial_gap;
+  float v_ego = sc.v_ego;
+  float v_lead = sc.v_lead;
+  // Filtered lead track (gap + closing speed), initialized from the first
+  // prediction. Differentiating raw per-frame CNN output would inject
+  // meters-scale noise into the closing-speed term.
+  float gap_track = sc.initial_gap;
+  float closing_track = 0.f;
+  double abs_err_acc = 0.0;
+  int steps = 0;
+
+  const int n_steps = static_cast<int>(sc.duration / params_.dt);
+  for (int k = 0; k < n_steps; ++k) {
+    const float t = static_cast<float>(k) * params_.dt;
+
+    // Render the camera view of the current gap.
+    const float render_gap =
+        std::clamp(gap, generator_.params().min_distance,
+                   generator_.params().max_distance);
+    data::DrivingFrame frame = generator_.render(render_gap, style, rng);
+
+    Tensor x = frame.image.to_batch();
+    if (attack) x = attack(x, frame.lead_box);
+    const float pred = perception_.predict(x)[0];
+
+    const float prev_gap_track = gap_track;
+    gap_track += params_.gap_filter_alpha * (pred - gap_track);
+    const float raw_closing = (prev_gap_track - gap_track) / params_.dt;
+    closing_track +=
+        params_.closing_filter_alpha * (raw_closing - closing_track);
+    const float accel = control(gap_track, v_ego, closing_track);
+
+    res.trace.push_back({t, gap, pred, v_ego, v_lead, accel});
+    abs_err_acc += std::fabs(pred - gap);
+    ++steps;
+
+    // Advance physics.
+    float lead_accel = 0.f;
+    if (sc.lead_brake_at >= 0.f && t >= sc.lead_brake_at &&
+        t < sc.lead_brake_until)
+      lead_accel = sc.lead_brake;
+    // Cut-in: a new, closer lead appears (the track restarts on it).
+    if (sc.cut_in_at >= 0.f && t >= sc.cut_in_at &&
+        t < sc.cut_in_at + params_.dt) {
+      gap = std::min(gap, sc.cut_in_gap);
+      gap_track = std::min(gap_track, sc.cut_in_gap);
+    }
+    v_lead = std::max(0.f, v_lead + lead_accel * params_.dt);
+    v_ego = std::max(0.f, v_ego + accel * params_.dt);
+    gap += (v_lead - v_ego) * params_.dt;
+
+    res.min_gap = std::min(res.min_gap, gap);
+    const float closing_true = v_ego - v_lead;
+    if (closing_true > 0.1f)
+      res.min_ttc = std::min(res.min_ttc, gap / closing_true);
+    if (gap <= 0.f) {
+      res.collided = true;
+      break;
+    }
+  }
+  res.mean_abs_gap_error =
+      steps > 0 ? static_cast<float>(abs_err_acc / steps) : 0.f;
+  return res;
+}
+
+}  // namespace advp::sim

@@ -1,0 +1,96 @@
+// Closed-loop ACC simulation: the system-level substrate behind CAP-Attack
+// (paper §III-E2 targets "DNN-based Adaptive Cruise Control systems").
+//
+// Loop per 0.1 s control step:
+//   lead kinematics -> renderer -> (optional attack) -> (optional defense)
+//   -> DistNet distance estimate -> OpenPilot-style longitudinal controller
+//   -> follower acceleration.
+// The controller tracks a desired gap d* = d_min + tau * v_ego and outputs
+// clamped acceleration; safety metrics record minimum gap, minimum TTC and
+// collisions — showing how frame-level distance errors become hazards.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/driving_scene.h"
+#include "models/distnet.h"
+
+namespace advp::sim {
+
+struct AccParams {
+  float dt = 0.1f;           ///< control period (s)
+  float tau_headway = 1.6f;  ///< desired time headway (s)
+  float d_min = 9.f;         ///< standstill gap (m)
+  float kp = 0.35f;          ///< gap-error gain -> accel
+  float kv = 1.4f;           ///< closing-speed gain -> accel
+  float max_accel = 2.f;     ///< m/s^2
+  float max_brake = -3.5f;   ///< m/s^2 (AEB-less, like stock OpenPilot ACC)
+  float v_des = 20.f;        ///< cruise set-speed (m/s)
+  /// First-order lead-track filter (production ACCs Kalman-filter the
+  /// lead; raw per-frame CNN outputs are too noisy to differentiate).
+  float gap_filter_alpha = 0.45f;      ///< innovation weight on the gap
+  float closing_filter_alpha = 0.3f;   ///< innovation weight on d(gap)/dt
+};
+
+struct AccScenario {
+  float initial_gap = 40.f;   ///< m
+  float v_ego = 18.f;         ///< m/s
+  float v_lead = 15.f;        ///< m/s
+  float lead_brake_at = -1.f; ///< time (s) the lead starts braking; <0 = never
+  float lead_brake = -2.f;    ///< lead deceleration when braking (m/s^2)
+  float lead_brake_until = 1e9f;  ///< braking stops at this time (s)
+  float cut_in_at = -1.f;     ///< time (s) a vehicle cuts in; <0 = never
+  float cut_in_gap = 15.f;    ///< gap to the cut-in vehicle (m)
+  float duration = 12.f;      ///< s
+};
+
+/// Hook applied to each rendered frame before the perception model;
+/// receives the frame tensor and the true lead box (what CAP tracks).
+using FrameHook =
+    std::function<Tensor(const Tensor& frame, const Box& lead_box)>;
+
+/// Longitudinal control law: desired-gap tracking bounded by cruise-speed
+/// tracking, clamped to actuator limits. Exposed for direct unit testing.
+float longitudinal_accel(const AccParams& params, float gap_est, float v_ego,
+                         float closing_speed);
+
+struct AccStepLog {
+  float time = 0.f;
+  float true_gap = 0.f;
+  float predicted_gap = 0.f;
+  float v_ego = 0.f;
+  float v_lead = 0.f;
+  float accel_cmd = 0.f;
+};
+
+struct AccResult {
+  std::vector<AccStepLog> trace;
+  float min_gap = 0.f;
+  float min_ttc = 0.f;         ///< min time-to-collision over the run (s)
+  float mean_abs_gap_error = 0.f;
+  bool collided = false;
+};
+
+class AccSimulator {
+ public:
+  AccSimulator(models::DistNet& perception,
+               data::DrivingSceneGenerator generator, AccParams params = {});
+
+  /// Runs a scenario; `attack` (optional) perturbs each frame in the loop.
+  AccResult run(const AccScenario& scenario, Rng& rng,
+                const FrameHook& attack = nullptr);
+
+  const AccParams& params() const { return params_; }
+
+ private:
+  /// Longitudinal control law (desired-gap tracking with cruise limit).
+  float control(float gap_est, float v_ego, float closing_speed) const;
+
+  models::DistNet& perception_;
+  data::DrivingSceneGenerator generator_;
+  AccParams params_;
+};
+
+}  // namespace advp::sim

@@ -1,0 +1,68 @@
+#include "sim/scenarios.h"
+
+#include <fstream>
+
+#include "core/check.h"
+
+namespace advp::sim {
+
+AccScenario steady_follow() {
+  AccScenario sc;
+  sc.initial_gap = 40.f;
+  sc.v_ego = 16.f;
+  sc.v_lead = 16.f;
+  sc.duration = 10.f;
+  return sc;
+}
+
+AccScenario lead_brakes() {
+  AccScenario sc;
+  sc.initial_gap = 35.f;
+  sc.v_ego = 15.f;
+  sc.v_lead = 15.f;
+  sc.lead_brake_at = 3.f;
+  sc.lead_brake = -2.f;
+  sc.duration = 14.f;
+  return sc;
+}
+
+AccScenario stop_and_go() {
+  AccScenario sc;
+  sc.initial_gap = 30.f;
+  sc.v_ego = 12.f;
+  sc.v_lead = 12.f;
+  sc.lead_brake_at = 2.f;
+  sc.lead_brake = -2.5f;
+  sc.lead_brake_until = 7.f;  // lead releases the brake and pulls away
+  sc.duration = 16.f;
+  return sc;
+}
+
+AccScenario cut_in() {
+  AccScenario sc;
+  sc.initial_gap = 45.f;
+  sc.v_ego = 17.f;
+  sc.v_lead = 17.f;
+  sc.cut_in_at = 4.f;
+  sc.cut_in_gap = 18.f;
+  sc.duration = 12.f;
+  return sc;
+}
+
+std::vector<NamedScenario> standard_scenarios() {
+  return {{"steady_follow", steady_follow()},
+          {"lead_brakes", lead_brakes()},
+          {"stop_and_go", stop_and_go()},
+          {"cut_in", cut_in()}};
+}
+
+void write_trace_csv(const AccResult& result, const std::string& path) {
+  std::ofstream os(path);
+  ADVP_CHECK_MSG(os.good(), "write_trace_csv: cannot open " << path);
+  os << "time,true_gap,predicted_gap,v_ego,v_lead,accel_cmd\n";
+  for (const auto& s : result.trace)
+    os << s.time << ',' << s.true_gap << ',' << s.predicted_gap << ','
+       << s.v_ego << ',' << s.v_lead << ',' << s.accel_cmd << '\n';
+}
+
+}  // namespace advp::sim

@@ -1,0 +1,34 @@
+// Named scenario library for the ACC simulator plus trace export — the
+// standard longitudinal test cases used to compare clean vs attacked
+// perception (steady following, lead braking, stop-and-go, cut-in).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/acc_sim.h"
+
+namespace advp::sim {
+
+struct NamedScenario {
+  std::string name;
+  AccScenario scenario;
+};
+
+/// Steady car-following at matched speeds.
+AccScenario steady_follow();
+/// Lead brakes moderately and holds the brake.
+AccScenario lead_brakes();
+/// Lead brakes to a stop, then accelerates away (stop-and-go wave).
+AccScenario stop_and_go();
+/// A slower vehicle cuts in at a short gap.
+AccScenario cut_in();
+
+/// All of the above, in order.
+std::vector<NamedScenario> standard_scenarios();
+
+/// Writes the step trace as CSV (time, true_gap, predicted_gap, v_ego,
+/// v_lead, accel_cmd) for offline plotting.
+void write_trace_csv(const AccResult& result, const std::string& path);
+
+}  // namespace advp::sim

@@ -1,0 +1,303 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace advp {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  ADVP_CHECK_MSG(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 required");
+  const int m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
+  ADVP_CHECK_MSG(k == k2, "matmul: inner dims mismatch " << k << " vs " << k2);
+  Tensor c({m, n});
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  // i-k-j loop order: streams through B and C rows, cache friendly.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = ap + static_cast<std::size_t>(i) * k;
+    float* crow = cp + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.f) continue;
+      const float* brow = bp + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  ADVP_CHECK_MSG(a.rank() == 2, "transpose: rank-2 required");
+  const int m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
+  return t;
+}
+
+namespace {
+
+// Lowers x [N,Cin,H,W] to columns [Cin*K*K, Ho*Wo] for one batch item.
+void im2col(const float* x, int c_in, int h, int w, const Conv2dSpec& s,
+            float* cols) {
+  const int ho = s.out_h(h), wo = s.out_w(w);
+  const int patch = c_in * s.kernel * s.kernel;
+  for (int p = 0; p < patch; ++p) {
+    const int c = p / (s.kernel * s.kernel);
+    const int ky = (p / s.kernel) % s.kernel;
+    const int kx = p % s.kernel;
+    float* out_row = cols + static_cast<std::size_t>(p) * ho * wo;
+    for (int oy = 0; oy < ho; ++oy) {
+      const int iy = oy * s.stride + ky - s.pad;
+      for (int ox = 0; ox < wo; ++ox) {
+        const int ix = ox * s.stride + kx - s.pad;
+        float v = 0.f;
+        if (iy >= 0 && iy < h && ix >= 0 && ix < w)
+          v = x[(static_cast<std::size_t>(c) * h + iy) * w + ix];
+        out_row[oy * wo + ox] = v;
+      }
+    }
+  }
+}
+
+// Scatters columns [Cin*K*K, Ho*Wo] back into dx [Cin,H,W] (accumulating).
+void col2im(const float* cols, int c_in, int h, int w, const Conv2dSpec& s,
+            float* dx) {
+  const int ho = s.out_h(h), wo = s.out_w(w);
+  const int patch = c_in * s.kernel * s.kernel;
+  for (int p = 0; p < patch; ++p) {
+    const int c = p / (s.kernel * s.kernel);
+    const int ky = (p / s.kernel) % s.kernel;
+    const int kx = p % s.kernel;
+    const float* in_row = cols + static_cast<std::size_t>(p) * ho * wo;
+    for (int oy = 0; oy < ho; ++oy) {
+      const int iy = oy * s.stride + ky - s.pad;
+      if (iy < 0 || iy >= h) continue;
+      for (int ox = 0; ox < wo; ++ox) {
+        const int ix = ox * s.stride + kx - s.pad;
+        if (ix < 0 || ix >= w) continue;
+        dx[(static_cast<std::size_t>(c) * h + iy) * w + ix] +=
+            in_row[oy * wo + ox];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                      const Conv2dSpec& spec) {
+  ADVP_CHECK_MSG(x.rank() == 4, "conv2d: input must be NCHW");
+  const int n = x.dim(0), c_in = x.dim(1), h = x.dim(2), wd = x.dim(3);
+  ADVP_CHECK_MSG(c_in == spec.in_channels, "conv2d: Cin mismatch");
+  ADVP_CHECK(w.rank() == 4 && w.dim(0) == spec.out_channels &&
+             w.dim(1) == spec.in_channels && w.dim(2) == spec.kernel &&
+             w.dim(3) == spec.kernel);
+  ADVP_CHECK(b.rank() == 1 && b.dim(0) == spec.out_channels);
+  const int ho = spec.out_h(h), wo = spec.out_w(wd);
+  ADVP_CHECK_MSG(ho > 0 && wo > 0, "conv2d: output collapses to zero size");
+
+  const int patch = c_in * spec.kernel * spec.kernel;
+  Tensor cols({patch, ho * wo});
+  Tensor wmat = w.reshape({spec.out_channels, patch});
+  Tensor y({n, spec.out_channels, ho, wo});
+
+  const std::size_t x_stride = static_cast<std::size_t>(c_in) * h * wd;
+  const std::size_t y_stride =
+      static_cast<std::size_t>(spec.out_channels) * ho * wo;
+  for (int i = 0; i < n; ++i) {
+    im2col(x.data() + static_cast<std::size_t>(i) * x_stride, c_in, h, wd,
+           spec, cols.data());
+    Tensor yi = matmul(wmat, cols);  // [Cout, Ho*Wo]
+    float* yp = y.data() + static_cast<std::size_t>(i) * y_stride;
+    for (int oc = 0; oc < spec.out_channels; ++oc) {
+      const float bias = b[static_cast<std::size_t>(oc)];
+      const float* src = yi.data() + static_cast<std::size_t>(oc) * ho * wo;
+      float* dst = yp + static_cast<std::size_t>(oc) * ho * wo;
+      for (int j = 0; j < ho * wo; ++j) dst[j] = src[j] + bias;
+    }
+  }
+  return y;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
+                            const Tensor& dy, const Conv2dSpec& spec) {
+  const int n = x.dim(0), c_in = x.dim(1), h = x.dim(2), wd = x.dim(3);
+  const int ho = spec.out_h(h), wo = spec.out_w(wd);
+  ADVP_CHECK(dy.rank() == 4 && dy.dim(0) == n &&
+             dy.dim(1) == spec.out_channels && dy.dim(2) == ho &&
+             dy.dim(3) == wo);
+  const int patch = c_in * spec.kernel * spec.kernel;
+
+  Conv2dGrads g;
+  g.dx = Tensor({n, c_in, h, wd});
+  g.dw = Tensor({spec.out_channels, c_in, spec.kernel, spec.kernel});
+  g.db = Tensor({spec.out_channels});
+
+  Tensor wmat = w.reshape({spec.out_channels, patch});
+  Tensor wmat_t = transpose(wmat);  // [patch, Cout]
+  Tensor cols({patch, ho * wo});
+  Tensor dwmat({spec.out_channels, patch});
+
+  const std::size_t x_stride = static_cast<std::size_t>(c_in) * h * wd;
+  const std::size_t y_stride =
+      static_cast<std::size_t>(spec.out_channels) * ho * wo;
+  for (int i = 0; i < n; ++i) {
+    const float* dyp = dy.data() + static_cast<std::size_t>(i) * y_stride;
+    // db
+    for (int oc = 0; oc < spec.out_channels; ++oc) {
+      const float* row = dyp + static_cast<std::size_t>(oc) * ho * wo;
+      double s = 0.0;
+      for (int j = 0; j < ho * wo; ++j) s += row[j];
+      g.db[static_cast<std::size_t>(oc)] += static_cast<float>(s);
+    }
+    // dW += dY_i * cols_i^T
+    im2col(x.data() + static_cast<std::size_t>(i) * x_stride, c_in, h, wd,
+           spec, cols.data());
+    Tensor dyi = Tensor::from_vector(
+        {spec.out_channels, ho * wo},
+        std::vector<float>(dyp, dyp + y_stride));
+    Tensor cols_t = transpose(cols);             // [Ho*Wo, patch]
+    Tensor dwi = matmul(dyi, cols_t);            // [Cout, patch]
+    dwmat += dwi;
+    // dcols = W^T * dY_i, then scatter back to dx_i
+    Tensor dcols = matmul(wmat_t, dyi);          // [patch, Ho*Wo]
+    col2im(dcols.data(), c_in, h, wd, spec,
+           g.dx.data() + static_cast<std::size_t>(i) * x_stride);
+  }
+  g.dw = dwmat.reshape({spec.out_channels, c_in, spec.kernel, spec.kernel});
+  return g;
+}
+
+Tensor maxpool2x2_forward(const Tensor& x, std::vector<int>* argmax) {
+  ADVP_CHECK(x.rank() == 4);
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  ADVP_CHECK_MSG(h % 2 == 0 && w % 2 == 0, "maxpool2x2: H,W must be even");
+  const int ho = h / 2, wo = w / 2;
+  Tensor y({n, c, ho, wo});
+  if (argmax) argmax->assign(y.numel(), 0);
+  std::size_t oi = 0;
+  for (int i = 0; i < n; ++i)
+    for (int cc = 0; cc < c; ++cc) {
+      const std::size_t plane =
+          (static_cast<std::size_t>(i) * c + cc) * h * w;
+      for (int oy = 0; oy < ho; ++oy)
+        for (int ox = 0; ox < wo; ++ox, ++oi) {
+          float best = -1e30f;
+          std::size_t best_off = 0;
+          for (int dy = 0; dy < 2; ++dy)
+            for (int dx = 0; dx < 2; ++dx) {
+              const std::size_t off =
+                  plane + static_cast<std::size_t>(2 * oy + dy) * w +
+                  (2 * ox + dx);
+              if (x[off] > best) {
+                best = x[off];
+                best_off = off;
+              }
+            }
+          y[oi] = best;
+          if (argmax) (*argmax)[oi] = static_cast<int>(best_off);
+        }
+    }
+  return y;
+}
+
+Tensor maxpool2x2_backward(const Tensor& dy, const std::vector<int>& argmax,
+                           const std::vector<int>& input_shape) {
+  Tensor dx(input_shape);
+  ADVP_CHECK(argmax.size() == dy.numel());
+  for (std::size_t i = 0; i < dy.numel(); ++i)
+    dx[static_cast<std::size_t>(argmax[i])] += dy[i];
+  return dx;
+}
+
+Tensor global_avgpool_forward(const Tensor& x) {
+  ADVP_CHECK(x.rank() == 4);
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor y({n, c});
+  const float inv = 1.f / static_cast<float>(h * w);
+  for (int i = 0; i < n; ++i)
+    for (int cc = 0; cc < c; ++cc) {
+      const float* p =
+          x.data() + (static_cast<std::size_t>(i) * c + cc) * h * w;
+      double s = 0.0;
+      for (int j = 0; j < h * w; ++j) s += p[j];
+      y.at(i, cc) = static_cast<float>(s) * inv;
+    }
+  return y;
+}
+
+Tensor global_avgpool_backward(const Tensor& dy,
+                               const std::vector<int>& input_shape) {
+  ADVP_CHECK(dy.rank() == 2 && input_shape.size() == 4);
+  const int n = input_shape[0], c = input_shape[1], h = input_shape[2],
+            w = input_shape[3];
+  ADVP_CHECK(dy.dim(0) == n && dy.dim(1) == c);
+  Tensor dx({n, c, h, w});
+  const float inv = 1.f / static_cast<float>(h * w);
+  for (int i = 0; i < n; ++i)
+    for (int cc = 0; cc < c; ++cc) {
+      const float g = dy.at(i, cc) * inv;
+      float* p = dx.data() + (static_cast<std::size_t>(i) * c + cc) * h * w;
+      for (int j = 0; j < h * w; ++j) p[j] = g;
+    }
+  return dx;
+}
+
+Tensor upsample2x_forward(const Tensor& x) {
+  ADVP_CHECK(x.rank() == 4);
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor y({n, c, 2 * h, 2 * w});
+  for (int i = 0; i < n; ++i)
+    for (int cc = 0; cc < c; ++cc)
+      for (int yy = 0; yy < 2 * h; ++yy)
+        for (int xx = 0; xx < 2 * w; ++xx)
+          y.at(i, cc, yy, xx) = x.at(i, cc, yy / 2, xx / 2);
+  return y;
+}
+
+Tensor upsample2x_backward(const Tensor& dy) {
+  ADVP_CHECK(dy.rank() == 4);
+  const int n = dy.dim(0), c = dy.dim(1), h2 = dy.dim(2), w2 = dy.dim(3);
+  ADVP_CHECK(h2 % 2 == 0 && w2 % 2 == 0);
+  Tensor dx({n, c, h2 / 2, w2 / 2});
+  for (int i = 0; i < n; ++i)
+    for (int cc = 0; cc < c; ++cc)
+      for (int yy = 0; yy < h2; ++yy)
+        for (int xx = 0; xx < w2; ++xx)
+          dx.at(i, cc, yy / 2, xx / 2) += dy.at(i, cc, yy, xx);
+  return dx;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  ADVP_CHECK(logits.rank() == 2);
+  const int n = logits.dim(0), k = logits.dim(1);
+  Tensor p({n, k});
+  for (int i = 0; i < n; ++i) {
+    float mx = -1e30f;
+    for (int j = 0; j < k; ++j) mx = std::max(mx, logits.at(i, j));
+    double z = 0.0;
+    for (int j = 0; j < k; ++j) {
+      const float e = std::exp(logits.at(i, j) - mx);
+      p.at(i, j) = e;
+      z += e;
+    }
+    const float inv = static_cast<float>(1.0 / z);
+    for (int j = 0; j < k; ++j) p.at(i, j) *= inv;
+  }
+  return p;
+}
+
+float sigmoidf(float x) {
+  if (x >= 0.f) {
+    const float e = std::exp(-x);
+    return 1.f / (1.f + e);
+  }
+  const float e = std::exp(x);
+  return e / (1.f + e);
+}
+
+}  // namespace advp

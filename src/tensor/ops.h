@@ -1,0 +1,75 @@
+// Dense neural-network primitives over NCHW tensors.
+//
+// All convolution/pooling routines come in forward/backward pairs; the
+// backward functions return gradients with respect to *inputs* as well as
+// parameters, because white-box attacks (FGSM, Auto-PGD, RP2, CAP) need
+// d(loss)/d(image) all the way back to the pixels.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace advp {
+
+// ---- matmul --------------------------------------------------------------
+
+/// C = A(mxk) * B(kxn). Inputs must be rank-2.
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// Rank-2 transpose.
+Tensor transpose(const Tensor& a);
+
+// ---- conv2d ---------------------------------------------------------------
+
+/// Geometry of a 2-D convolution; shared by forward and backward.
+struct Conv2dSpec {
+  int in_channels = 0;
+  int out_channels = 0;
+  int kernel = 3;
+  int stride = 1;
+  int pad = 1;
+
+  int out_h(int in_h) const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  int out_w(int in_w) const { return (in_w + 2 * pad - kernel) / stride + 1; }
+};
+
+/// x: [N, Cin, H, W]; w: [Cout, Cin, K, K]; b: [Cout].
+/// Returns [N, Cout, Ho, Wo].
+Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                      const Conv2dSpec& spec);
+
+struct Conv2dGrads {
+  Tensor dx;  ///< gradient w.r.t. input, same shape as x
+  Tensor dw;  ///< gradient w.r.t. weights
+  Tensor db;  ///< gradient w.r.t. bias
+};
+
+Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
+                            const Tensor& dy, const Conv2dSpec& spec);
+
+// ---- pooling ---------------------------------------------------------------
+
+/// 2x2 stride-2 max pooling. `argmax` (same shape as output) records the
+/// flat input offset of each winner for the backward pass.
+Tensor maxpool2x2_forward(const Tensor& x, std::vector<int>* argmax);
+Tensor maxpool2x2_backward(const Tensor& dy, const std::vector<int>& argmax,
+                           const std::vector<int>& input_shape);
+
+/// Global average pool over H,W: [N,C,H,W] -> [N,C].
+Tensor global_avgpool_forward(const Tensor& x);
+Tensor global_avgpool_backward(const Tensor& dy,
+                               const std::vector<int>& input_shape);
+
+// ---- upsample ---------------------------------------------------------------
+
+/// Nearest-neighbour 2x upsample: [N,C,H,W] -> [N,C,2H,2W].
+Tensor upsample2x_forward(const Tensor& x);
+Tensor upsample2x_backward(const Tensor& dy);
+
+// ---- activations on logits -------------------------------------------------
+
+/// Softmax over the last dimension of a rank-2 tensor [N, K].
+Tensor softmax_rows(const Tensor& logits);
+
+/// Numerically-stable sigmoid.
+float sigmoidf(float x);
+
+}  // namespace advp

@@ -1,0 +1,98 @@
+// Tests for UAP and the attack-quality metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/uap.h"
+#include "core/check.h"
+#include "core/rng.h"
+#include "eval/attack_metrics.h"
+
+namespace advp {
+namespace {
+
+TEST(UapTest, SingleSharedDeltaBoundedAndImproves) {
+  // Corpus of 6 "images"; per-item linear losses with a shared component
+  // w0 so a universal direction exists.
+  Rng rng(1);
+  Tensor w0 = Tensor::randn({1, 3, 6, 6}, rng);
+  std::vector<Tensor> items, weights;
+  for (int i = 0; i < 6; ++i) {
+    items.push_back(Tensor::rand({1, 3, 6, 6}, rng, 0.3f, 0.7f));
+    Tensor wi = Tensor::randn({1, 3, 6, 6}, rng, 0.3f);
+    wi += w0;
+    weights.push_back(std::move(wi));
+  }
+  auto example = [&](std::size_t i) { return items[i]; };
+  auto oracle_for = [&](std::size_t i) {
+    return attacks::GradOracle([&, i](const Tensor& x) {
+      return attacks::LossGrad{x.dot(weights[i]), weights[i]};
+    });
+  };
+  attacks::UapParams p;
+  p.eps = 0.05f;
+  p.epochs = 2;
+  Rng arng(2);
+  auto res = attacks::universal_perturbation(items.size(), example,
+                                             oracle_for, p, arng);
+  EXPECT_LE(res.delta.abs_max(), p.eps + 1e-6f);
+  EXPECT_GT(res.mean_loss_after, res.mean_loss_before);
+}
+
+TEST(UapTest, ApplyClampsToValidRange) {
+  Tensor x = Tensor::full({1, 3, 2, 2}, 0.98f);
+  Tensor delta = Tensor::full({1, 3, 2, 2}, 0.1f);
+  Tensor adv = attacks::apply_uap(x, delta);
+  EXPECT_LE(adv.max(), 1.f);
+  Tensor bad({1, 3, 3, 3});
+  EXPECT_THROW(attacks::apply_uap(x, bad), CheckError);
+}
+
+TEST(PerturbationStatsTest, MeasuresKnownPerturbation) {
+  Image clean(4, 4, 0.5f);
+  Image adv = clean;
+  adv.at(1, 1, 0) = 0.7f;  // one pixel, one channel, +0.2
+  auto s = eval::perturbation_stats(clean, adv);
+  EXPECT_NEAR(s.linf, 0.2f, 1e-6f);
+  EXPECT_NEAR(s.l2, 0.2f, 1e-6f);
+  EXPECT_NEAR(s.touched_fraction, 1.f / 16.f, 1e-6f);
+  EXPECT_NEAR(s.mean_abs, 0.2f / 48.f, 1e-6f);
+}
+
+TEST(PerturbationStatsTest, IdenticalImagesAreZero) {
+  Image img(5, 5, 0.3f);
+  auto s = eval::perturbation_stats(img, img);
+  EXPECT_FLOAT_EQ(s.linf, 0.f);
+  EXPECT_FLOAT_EQ(s.touched_fraction, 0.f);
+}
+
+TEST(DetectionAsrTest, HiddenSignCounts) {
+  eval::AsrInput in;
+  in.ground_truth = {Box{0, 0, 10, 10}, Box{20, 20, 10, 10}};
+  in.clean_detections = {{Box{0, 0, 10, 10}, 0.9f},
+                         {Box{20, 20, 10, 10}, 0.8f}};
+  in.adv_detections = {{Box{20, 20, 10, 10}, 0.7f}};  // first sign hidden
+  EXPECT_FLOAT_EQ(eval::detection_attack_success_rate({in}), 0.5f);
+}
+
+TEST(DetectionAsrTest, NeverDetectedSignsAreNotEligible) {
+  eval::AsrInput in;
+  in.ground_truth = {Box{0, 0, 10, 10}};
+  in.clean_detections = {};  // clean model already missed it
+  in.adv_detections = {};
+  EXPECT_FLOAT_EQ(eval::detection_attack_success_rate({in}), 0.f);
+}
+
+TEST(RegressionAsrTest, ThresholdCounts) {
+  std::vector<float> clean = {10.f, 20.f, 30.f, 40.f};
+  std::vector<float> adv = {11.f, 28.f, 30.f, 60.f};
+  EXPECT_FLOAT_EQ(eval::regression_attack_success_rate(clean, adv, 5.f),
+                  0.5f);
+  EXPECT_FLOAT_EQ(eval::regression_attack_success_rate(clean, adv, 1.5f),
+                  0.5f);
+  EXPECT_FLOAT_EQ(eval::regression_attack_success_rate(clean, adv, 0.5f),
+                  0.75f);
+}
+
+}  // namespace
+}  // namespace advp

@@ -1,0 +1,177 @@
+// Tests for the synthetic data generators: determinism, label fidelity,
+// and the geometric properties the experiments rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "data/driving_scene.h"
+#include "data/sign_scene.h"
+
+namespace advp::data {
+namespace {
+
+TEST(SignSceneTest, DeterministicFromSeed) {
+  SignSceneGenerator gen;
+  auto a = gen.generate_dataset(5, 123);
+  auto b = gen.generate_dataset(5, 123);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a[i].image.mean_abs_diff(b[i].image), 0.f);
+    EXPECT_EQ(a[i].stop_signs.size(), b[i].stop_signs.size());
+  }
+}
+
+TEST(SignSceneTest, DifferentSeedsDiffer) {
+  SignSceneGenerator gen;
+  auto a = gen.generate_dataset(1, 1);
+  auto b = gen.generate_dataset(1, 2);
+  EXPECT_GT(a[0].image.mean_abs_diff(b[0].image), 1e-4f);
+}
+
+TEST(SignSceneTest, BoxesInsideImage) {
+  SignSceneGenerator gen;
+  auto ds = gen.generate_dataset(50, 7);
+  for (const auto& scene : ds)
+    for (const Box& b : scene.stop_signs) {
+      EXPECT_GE(b.x, -1.f);
+      EXPECT_GE(b.y, -1.f);
+      EXPECT_LE(b.right(), scene.image.width() + 1.f);
+      EXPECT_LE(b.bottom(), scene.image.height() + 1.f);
+      EXPECT_GT(b.w, 2.f);
+    }
+}
+
+TEST(SignSceneTest, MixOfPositivesAndNegatives) {
+  SignSceneGenerator gen;
+  auto ds = gen.generate_dataset(200, 11);
+  int no_sign = 0, one = 0, two = 0;
+  for (const auto& s : ds) {
+    if (s.stop_signs.empty()) ++no_sign;
+    else if (s.stop_signs.size() == 1) ++one;
+    else ++two;
+  }
+  EXPECT_GT(no_sign, 5);
+  EXPECT_GT(one, 100);
+  EXPECT_GT(two, 2);
+}
+
+TEST(SignSceneTest, SignRegionIsRedDominant) {
+  SignSceneParams p;
+  p.noise_sigma = 0.f;
+  SignSceneGenerator gen(p);
+  Rng rng(3);
+  int checked = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto scene = gen.generate(rng);
+    for (const Box& b : scene.stop_signs) {
+      // Sample the face center ring (avoid the white legend bar).
+      const int cx = static_cast<int>(b.cx());
+      const int cy = static_cast<int>(b.cy() - b.h * 0.3f);
+      if (cx < 0 || cy < 0 || cx >= scene.image.width() || cy >= scene.image.height()) continue;
+      const float r = scene.image.at(cx, cy, 0);
+      const float g = scene.image.at(cx, cy, 1);
+      EXPECT_GT(r, g) << "scene " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST(DrivingSceneTest, DeterministicFromSeed) {
+  DrivingSceneGenerator gen;
+  auto a = gen.generate_frames(4, 9);
+  auto b = gen.generate_frames(4, 9);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a[i].image.mean_abs_diff(b[i].image), 0.f);
+    EXPECT_FLOAT_EQ(a[i].distance, b[i].distance);
+  }
+}
+
+TEST(DrivingSceneTest, ApparentSizeInverseToDistance) {
+  DrivingSceneGenerator gen;
+  Rng rng(1);
+  SceneStyle style = gen.sample_style(rng);
+  style.lane_offset = 0.f;
+  const Box near = gen.project_lead(10.f, style);
+  const Box far = gen.project_lead(40.f, style);
+  EXPECT_NEAR(near.w / far.w, 4.f, 0.1f);
+  EXPECT_NEAR(near.h / far.h, 4.f, 0.1f);
+  // Far vehicles sit higher (closer to the horizon).
+  EXPECT_LT(far.bottom(), near.bottom());
+}
+
+TEST(DrivingSceneTest, LeadBoxCoversCarPixels) {
+  DrivingSceneParams p;
+  p.noise_sigma = 0.f;
+  DrivingSceneGenerator gen(p);
+  Rng rng(2);
+  SceneStyle style = gen.sample_style(rng);
+  style.car_color = Color{1.f, 0.f, 0.f};  // unmistakable
+  style.light_gain = 1.f;
+  auto frame = gen.render(15.f, style, rng);
+  // The body color must appear inside the ground-truth box.
+  bool found = false;
+  for (int y = static_cast<int>(frame.lead_box.y);
+       y < static_cast<int>(frame.lead_box.bottom()) && !found; ++y)
+    for (int x = static_cast<int>(frame.lead_box.x);
+         x < static_cast<int>(frame.lead_box.right()) && !found; ++x)
+      if (frame.image.at(x, y, 0) > 0.8f && frame.image.at(x, y, 1) < 0.3f)
+        found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(DrivingSceneTest, SequenceDistanceEvolvesSmoothly) {
+  DrivingSceneGenerator gen;
+  auto seq = gen.generate_sequence(40, 30.f, -2.f, 0.05f, 5);
+  ASSERT_EQ(seq.size(), 40u);
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    const float dd = std::fabs(seq[i].distance - seq[i - 1].distance);
+    EXPECT_LT(dd, 0.5f);  // |v_rel| <= 6 m/s at dt = 0.05
+  }
+  // Approaching lead: distance should shrink overall.
+  EXPECT_LT(seq.back().distance, seq.front().distance);
+}
+
+TEST(DatasetTest, SplitPartitions) {
+  auto [train, test] = split_indices(100, 0.8, 42);
+  EXPECT_EQ(train.size(), 80u);
+  EXPECT_EQ(test.size(), 20u);
+  std::vector<bool> seen(100, false);
+  for (auto i : train) seen[i] = true;
+  for (auto i : test) {
+    EXPECT_FALSE(seen[i]);  // disjoint
+    seen[i] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);  // exhaustive
+}
+
+TEST(DatasetTest, SubsetSelects) {
+  SignDataset ds = make_sign_dataset(10, 3);
+  SignDataset sub = subset(ds, {1, 3, 5});
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_FLOAT_EQ(sub.scenes[0].image.mean_abs_diff(ds.scenes[1].image), 0.f);
+}
+
+TEST(DatasetTest, StratifiedFillsAllBins) {
+  auto ds = make_driving_dataset_stratified(8, {0.f, 20.f, 40.f, 60.f, 80.f}, 17);
+  EXPECT_EQ(ds.size(), 32u);
+  int counts[4] = {0, 0, 0, 0};
+  for (const auto& f : ds.frames) {
+    const int b = std::min(3, static_cast<int>(f.distance / 20.f));
+    ++counts[b];
+  }
+  for (int c : counts) EXPECT_EQ(c, 8);
+}
+
+TEST(DatasetTest, StratifiedRespectsGeneratorLimits) {
+  DrivingSceneParams p;
+  auto ds = make_driving_dataset_stratified(4, {0.f, 20.f}, 23, p);
+  for (const auto& f : ds.frames) {
+    EXPECT_GE(f.distance, p.min_distance);
+    EXPECT_LT(f.distance, 20.f);
+  }
+}
+
+}  // namespace
+}  // namespace advp::data

@@ -1,0 +1,160 @@
+// Edge-case and property tests across modules: diffusion parameterization
+// identities, Auto-PGD checkpoint behaviour, extreme-distance rendering,
+// and black-box registry paths not covered elsewhere.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/autopgd.h"
+#include "core/check.h"
+#include "defenses/adv_train.h"
+#include "defenses/diffusion.h"
+#include "models/zoo.h"
+
+namespace advp {
+namespace {
+
+// Property: predict_eps and predict_x0 are two views of the same network
+// output, related by x_t = sqrt(ab) x0 + sqrt(1-ab) eps. Reconstructing
+// x_t from either pair must agree (up to the [0,1] clamp on x0).
+TEST(DiffusionPropertyTest, EpsAndX0ViewsConsistent) {
+  Rng rng(1);
+  defenses::DdpmConfig cfg;
+  cfg.base_channels = 8;
+  defenses::DiffusionDenoiser dd(16, 16, cfg, rng);
+  Tensor x_t = Tensor::rand({1, 3, 16, 16}, rng, 0.2f, 0.8f);
+  const int t = 30;
+  Tensor x0 = dd.predict_x0(x_t, t);
+  Tensor eps = dd.predict_eps(x_t, t);
+  const float ab = dd.alpha_bar(t);
+  const float sa = std::sqrt(ab), sb = std::sqrt(1.f - ab);
+  for (std::size_t i = 0; i < x_t.numel(); ++i) {
+    // If the x0 view was not clamped at this element, the identity holds.
+    if (x0[i] > 1e-4f && x0[i] < 1.f - 1e-4f)
+      EXPECT_NEAR(sa * x0[i] + sb * eps[i], x_t[i], 1e-3f) << "at " << i;
+  }
+}
+
+TEST(DiffusionPropertyTest, BothParameterizationsTrain) {
+  for (bool predict_x0 : {false, true}) {
+    Rng rng(2);
+    defenses::DdpmConfig cfg;
+    cfg.base_channels = 8;
+    cfg.predict_x0 = predict_x0;
+    defenses::DiffusionDenoiser dd(16, 16, cfg, rng);
+    std::vector<Image> imgs(8, Image(16, 16, 0.5f));
+    Rng trng(3);
+    const float first = dd.train(imgs, 2, 4, 2e-3f, trng);
+    const float later = dd.train(imgs, 6, 4, 2e-3f, trng);
+    EXPECT_LT(later, first) << "predict_x0=" << predict_x0;
+  }
+}
+
+// Auto-PGD's adaptive machinery: on an adversarially flat oracle (zero
+// gradient) the attack must terminate cleanly and return the input.
+TEST(AutoPgdEdgeTest, FlatOracleReturnsInput) {
+  auto oracle = [](const Tensor& x) {
+    return attacks::LossGrad{0.f, Tensor(x.shape())};
+  };
+  Tensor x = Tensor::full({1, 3, 4, 4}, 0.5f);
+  attacks::AutoPgdParams p;
+  p.steps = 12;
+  auto res = attacks::auto_pgd(x, p, oracle);
+  EXPECT_FLOAT_EQ(res.best_loss, 0.f);
+  Tensor d = res.x_adv - x;
+  EXPECT_FLOAT_EQ(d.abs_max(), 0.f);
+  // Stagnation must trigger at least one step halving.
+  EXPECT_GE(res.step_halvings, 1);
+}
+
+// On an oscillating (adversarially hostile) oracle the best-so-far iterate
+// must still dominate the final iterate.
+TEST(AutoPgdEdgeTest, BestSoFarDominates) {
+  Rng rng(4);
+  Tensor w = Tensor::randn({1, 3, 4, 4}, rng);
+  int calls = 0;
+  auto oracle = [&](const Tensor& x) {
+    ++calls;
+    // Sign flips every call: the loss landscape "fights back".
+    const float sign = (calls % 2 == 0) ? 1.f : -1.f;
+    Tensor g = w;
+    g *= sign;
+    return attacks::LossGrad{sign * x.dot(w), std::move(g)};
+  };
+  Tensor x = Tensor::full({1, 3, 4, 4}, 0.5f);
+  attacks::AutoPgdParams p;
+  p.steps = 10;
+  auto res = attacks::auto_pgd(x, p, oracle);
+  // best_loss is the max over evaluated iterates; verify x_adv attains
+  // a loss no worse than the clean input under the "even call" view.
+  EXPECT_GE(res.best_loss, x.dot(w) * -1.f - 1e-4f);
+}
+
+// Rendering at the extreme near distance: the lead box may clip the frame
+// bottom; labels must stay inside the canvas.
+TEST(DrivingEdgeTest, NearDistanceBoxClipped) {
+  data::DrivingSceneGenerator gen;
+  Rng rng(5);
+  auto style = gen.sample_style(rng);
+  auto frame = gen.render(gen.params().min_distance, style, rng);
+  EXPECT_GE(frame.lead_box.x, 0.f);
+  EXPECT_GE(frame.lead_box.y, 0.f);
+  EXPECT_LE(frame.lead_box.right(),
+            static_cast<float>(frame.image.width()) + 0.5f);
+  EXPECT_LE(frame.lead_box.bottom(),
+            static_cast<float>(frame.image.height()) + 0.5f);
+  EXPECT_GT(frame.lead_box.w, 4.f);  // near vehicle dominates the view
+}
+
+TEST(DrivingEdgeTest, FarDistanceStillHasBox) {
+  data::DrivingSceneGenerator gen;
+  Rng rng(6);
+  auto style = gen.sample_style(rng);
+  auto frame = gen.render(gen.params().max_distance, style, rng);
+  EXPECT_GE(frame.lead_box.w, 1.f);
+  EXPECT_GE(frame.lead_box.h, 1.f);
+}
+
+TEST(DrivingEdgeTest, RenderRejectsDegenerateDistance) {
+  data::DrivingSceneGenerator gen;
+  Rng rng(7);
+  auto style = gen.sample_style(rng);
+  EXPECT_THROW(gen.render(0.1f, style, rng), CheckError);
+}
+
+// The SimBA registry path for the regression task (black-box drift).
+TEST(RegistryEdgeTest, SimbaDrivingFrameConfined) {
+  Rng mrng(8);
+  models::DistNet victim(models::DistNetConfig{}, mrng);
+  data::DrivingSceneGenerator gen;
+  Rng srng(9);
+  auto style = gen.sample_style(srng);
+  auto frame = gen.render(10.f, style, srng);
+  Rng arng(10);
+  Image adv = defenses::attack_driving_frame(
+      frame, defenses::AttackKind::kSimba, victim, arng);
+  // Confined to the lead box: the sky corner must be untouched.
+  for (int c = 0; c < 3; ++c)
+    EXPECT_FLOAT_EQ(adv.at(1, 1, c), frame.image.at(1, 1, c));
+  EXPECT_EQ(adv.width(), frame.image.width());
+}
+
+// Mixed adversarial datasets preserve labels (the training target of the
+// attacked copy must be the clean frame's ground truth).
+TEST(RegistryEdgeTest, AdversarialDatasetKeepsLabels) {
+  Rng mrng(11);
+  models::DistNet victim(models::DistNetConfig{}, mrng);
+  auto clean = data::make_driving_dataset(4, 71);
+  defenses::DrivingAttackParams ap;
+  ap.apgd_steps = 3;
+  auto adv = defenses::make_adversarial_driving_dataset(
+      clean, defenses::AttackKind::kFgsm, victim, 72, ap);
+  ASSERT_EQ(adv.size(), clean.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_FLOAT_EQ(adv.frames[i].distance, clean.frames[i].distance);
+    EXPECT_FLOAT_EQ(adv.frames[i].lead_box.x, clean.frames[i].lead_box.x);
+  }
+}
+
+}  // namespace
+}  // namespace advp

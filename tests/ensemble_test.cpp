@@ -1,0 +1,170 @@
+// Tests for defense composition (cascade / blend) and the
+// feature-squeezing adversarial-input detector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/check.h"
+#include "defenses/adv_train.h"
+#include "defenses/ensemble.h"
+#include "image/draw.h"
+#include "image/proc.h"
+
+namespace advp::defenses {
+namespace {
+
+std::unique_ptr<InputDefense> blur() {
+  return std::make_unique<MedianBlurDefense>(3);
+}
+std::unique_ptr<InputDefense> bits() {
+  return std::make_unique<BitDepthDefense>(3);
+}
+
+Image gradient_image(int w = 16, int h = 16) {
+  Image img(w, h);
+  fill_vertical_gradient(img, Color{0.1f, 0.15f, 0.2f},
+                         Color{0.8f, 0.75f, 0.7f});
+  return img;
+}
+
+TEST(CascadeTest, AppliesStagesInOrder) {
+  std::vector<std::unique_ptr<InputDefense>> stages;
+  stages.push_back(blur());
+  stages.push_back(bits());
+  CascadeDefense cascade(std::move(stages));
+  Image img = gradient_image();
+  Image via_cascade = cascade.apply(img);
+  Image manual = bit_depth_reduce(median_blur(img, 3), 3);
+  EXPECT_FLOAT_EQ(via_cascade.mean_abs_diff(manual), 0.f);
+}
+
+TEST(CascadeTest, EmptyRejected) {
+  EXPECT_THROW(CascadeDefense({}, "x"), CheckError);
+}
+
+TEST(CascadeTest, FactoryBuildsBlurThenBitdepth) {
+  auto d = make_blur_then_bitdepth();
+  EXPECT_EQ(d->name(), "Blur+BitDepth");
+  Image img = gradient_image();
+  Image out = d->apply(img);
+  // Output must be quantized to 3 bits (7 levels).
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    const float v = out.data()[i] * 7.f;
+    EXPECT_NEAR(v, std::round(v), 1e-4f);
+  }
+}
+
+TEST(BlendTest, AveragesMembers) {
+  // Two identity-like members -> output equals input.
+  std::vector<std::unique_ptr<InputDefense>> members;
+  members.push_back(std::make_unique<IdentityDefense>());
+  members.push_back(std::make_unique<IdentityDefense>());
+  BlendDefense blend(std::move(members));
+  Image img = gradient_image();
+  EXPECT_LT(blend.apply(img).mean_abs_diff(img), 1e-6f);
+}
+
+TEST(BlendTest, MixesDistinctViews) {
+  std::vector<std::unique_ptr<InputDefense>> members;
+  members.push_back(std::make_unique<IdentityDefense>());
+  members.push_back(bits());
+  BlendDefense blend(std::move(members));
+  Image img(4, 4, 0.4f);
+  Image out = blend.apply(img);
+  // bit_depth(0.4, 3 bits) = round(0.4*7)/7 = 3/7; blend = (0.4 + 3/7)/2.
+  EXPECT_NEAR(out.at(0, 0, 0), (0.4f + 3.f / 7.f) / 2.f, 1e-5f);
+}
+
+// ---- squeeze detector --------------------------------------------------
+
+TEST(SqueezeDetectorTest, CleanSmoothImagePassesNoisyFlagged) {
+  SqueezeDetector detector(standard_squeezers(), /*threshold=*/0.05f);
+  // Probe: mean intensity of the top-left quadrant — smooth under blur
+  // for clean images, unstable for speckled ones.
+  auto probe = [](const Image& img) {
+    double s = 0;
+    int n = 0;
+    for (int y = 0; y < img.height() / 2; ++y)
+      for (int x = 0; x < img.width() / 2; ++x, ++n) s += img.at(x, y, 0);
+    return static_cast<float>(s / n);
+  };
+  Image clean = gradient_image();
+  auto r_clean = detector.inspect(clean, probe);
+  EXPECT_FALSE(r_clean.adversarial);
+
+  // Heavy impulse noise in the probed quadrant.
+  Image attacked = clean;
+  Rng rng(1);
+  for (int i = 0; i < 40; ++i)
+    attacked.set_pixel(rng.uniform_int(0, 7), rng.uniform_int(0, 7), 1.f, 1.f,
+                       1.f);
+  auto r_attacked = detector.inspect(attacked, probe);
+  EXPECT_GT(r_attacked.max_shift, r_clean.max_shift);
+}
+
+TEST(SqueezeDetectorTest, CalibrationSetsQuantileThreshold) {
+  SqueezeDetector detector(standard_squeezers(), 0.f);
+  auto probe = [](const Image& img) { return img.at(0, 0, 0); };
+  std::vector<Image> corpus;
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    Image img = gradient_image();
+    corpus.push_back(add_gaussian_noise(img, 0.02f, rng));
+  }
+  const float thr = detector.calibrate(corpus, probe, 0.95);
+  EXPECT_GT(thr, 0.f);
+  // At the 95th percentile threshold, most clean images must pass.
+  int flagged = 0;
+  for (const auto& img : corpus)
+    if (detector.inspect(img, probe).adversarial) ++flagged;
+  EXPECT_LE(flagged, 2);
+}
+
+TEST(SqueezeDetectorTest, ThresholdMonotone) {
+  SqueezeDetector detector(standard_squeezers(), 1e9f);
+  auto probe = [](const Image& img) { return img.at(2, 2, 1) * 10.f; };
+  Image img = gradient_image();
+  EXPECT_FALSE(detector.inspect(img, probe).adversarial);
+  detector.set_threshold(0.f);
+  // Any nonzero shift now trips the detector.
+  auto r = detector.inspect(img, probe);
+  EXPECT_EQ(r.adversarial, r.max_shift > 0.f);
+}
+
+// Integration: the detector flags white-box adversarial driving frames at
+// a threshold calibrated on clean frames.
+TEST(SqueezeDetectorIntegrationTest, FlagsFgsmFrames) {
+  Rng mrng(3);
+  models::DistNet model(models::DistNetConfig{}, mrng);
+  auto train = data::make_driving_dataset(96, 61);
+  models::TrainConfig tc;
+  tc.epochs = 10;
+  tc.lr = 2e-3f;
+  models::train_distnet(model, train, tc);
+
+  SqueezeDetector detector(standard_squeezers(), 0.f);
+  auto probe = [&](const Image& img) {
+    return model.predict(img.to_batch())[0];
+  };
+  auto clean = data::make_driving_dataset(24, 62);
+  std::vector<Image> clean_images;
+  for (const auto& f : clean.frames) clean_images.push_back(f.image);
+  detector.calibrate(clean_images, probe, 0.9);
+
+  DrivingAttackParams ap;
+  ap.fgsm_eps = 0.15f;
+  Rng arng(63);
+  int flagged = 0, total = 0;
+  for (const auto& f : clean.frames) {
+    Image adv = attack_driving_frame(f, AttackKind::kFgsm, model, arng, ap);
+    if (detector.inspect(adv, probe).adversarial) ++flagged;
+    ++total;
+  }
+  // FGSM perturbations are exactly what squeezing erases; detection rate
+  // must clearly beat the calibrated ~10% false-positive rate.
+  EXPECT_GT(flagged, total / 3)
+      << "flagged " << flagged << " of " << total;
+}
+
+}  // namespace
+}  // namespace advp::defenses

@@ -1,0 +1,291 @@
+// Tests for the image substrate: type conversions, rasterizer, processing
+// (defense primitives) and the DCT basis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/rng.h"
+#include "image/dct.h"
+#include "image/draw.h"
+#include "image/image.h"
+#include "image/proc.h"
+
+namespace advp {
+namespace {
+
+TEST(BoxTest, IouIdenticalIsOne) {
+  Box a{0, 0, 10, 10};
+  EXPECT_FLOAT_EQ(iou(a, a), 1.f);
+}
+
+TEST(BoxTest, IouDisjointIsZero) {
+  EXPECT_FLOAT_EQ(iou(Box{0, 0, 5, 5}, Box{10, 10, 5, 5}), 0.f);
+}
+
+TEST(BoxTest, IouHalfOverlap) {
+  // Two 10x10 boxes overlapping in a 5x10 strip: IoU = 50/150.
+  EXPECT_NEAR(iou(Box{0, 0, 10, 10}, Box{5, 0, 10, 10}), 1.f / 3.f, 1e-5f);
+}
+
+TEST(ImageTest, TensorRoundTrip) {
+  Rng rng(1);
+  Image img(7, 5);
+  for (int y = 0; y < 5; ++y)
+    for (int x = 0; x < 7; ++x)
+      for (int c = 0; c < 3; ++c)
+        img.at(x, y, c) = static_cast<float>(rng.uniform());
+  Image back = Image::from_tensor(img.to_tensor());
+  EXPECT_FLOAT_EQ(img.mean_abs_diff(back), 0.f);
+}
+
+TEST(ImageTest, BatchRoundTrip) {
+  Rng rng(2);
+  std::vector<Image> imgs;
+  for (int i = 0; i < 3; ++i) {
+    Image im(4, 4);
+    for (std::size_t k = 0; k < im.numel(); ++k)
+      im.data()[k] = static_cast<float>(rng.uniform());
+    imgs.push_back(im);
+  }
+  Tensor batch = images_to_batch(imgs);
+  EXPECT_EQ(batch.dim(0), 3);
+  for (int i = 0; i < 3; ++i) {
+    Image back = Image::from_batch(batch, i);
+    EXPECT_FLOAT_EQ(imgs[static_cast<std::size_t>(i)].mean_abs_diff(back), 0.f);
+  }
+}
+
+TEST(ImageTest, SetPixelIgnoresOutOfBounds) {
+  Image img(4, 4);
+  img.set_pixel(-1, 0, 1, 1, 1);
+  img.set_pixel(0, 7, 1, 1, 1);  // no crash, no effect
+  EXPECT_FLOAT_EQ(img.at(0, 0, 0), 0.f);
+}
+
+TEST(ImageTest, PpmRoundTrip) {
+  Rng rng(3);
+  Image img(6, 4);
+  for (std::size_t k = 0; k < img.numel(); ++k)
+    img.data()[k] = static_cast<float>(rng.uniform());
+  const std::string path = ::testing::TempDir() + "/advp_test.ppm";
+  write_ppm(img, path);
+  Image back = read_ppm(path);
+  EXPECT_EQ(back.width(), 6);
+  EXPECT_EQ(back.height(), 4);
+  EXPECT_LT(img.mean_abs_diff(back), 1.f / 255.f);
+  std::remove(path.c_str());
+}
+
+TEST(DrawTest, FillRectCoversExactArea) {
+  Image img(10, 10);
+  fill_rect(img, Box{2, 3, 4, 2}, Color{1, 0, 0});
+  EXPECT_FLOAT_EQ(img.at(2, 3, 0), 1.f);
+  EXPECT_FLOAT_EQ(img.at(5, 4, 0), 1.f);
+  EXPECT_FLOAT_EQ(img.at(1, 3, 0), 0.f);
+  EXPECT_FLOAT_EQ(img.at(2, 5, 0), 0.f);
+}
+
+TEST(DrawTest, OctagonIsInsideCircumcircleAndNonTrivial) {
+  Image img(32, 32);
+  fill_regular_polygon(img, 16, 16, 10, 8, M_PI / 8.0, Color{1, 1, 1});
+  int lit = 0;
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x)
+      if (img.at(x, y, 0) > 0.5f) {
+        ++lit;
+        const float dx = x + 0.5f - 16.f, dy = y + 0.5f - 16.f;
+        EXPECT_LE(std::sqrt(dx * dx + dy * dy), 10.6f);
+      }
+  // Area of a regular octagon with circumradius 10 is ~283.
+  EXPECT_GT(lit, 200);
+  EXPECT_LT(lit, 330);
+}
+
+TEST(DrawTest, GradientMonotone) {
+  Image img(4, 16);
+  fill_vertical_gradient(img, Color{0, 0, 0}, Color{1, 1, 1});
+  for (int y = 1; y < 16; ++y)
+    EXPECT_GE(img.at(0, y, 0), img.at(0, y - 1, 0));
+}
+
+// ---- processing (defense primitives) -----------------------------------
+
+TEST(ProcTest, MedianBlurRemovesSaltPepper) {
+  Image img(9, 9, 0.5f);
+  img.set_pixel(4, 4, 1.f, 1.f, 1.f);  // single outlier
+  Image out = median_blur(img, 3);
+  EXPECT_FLOAT_EQ(out.at(4, 4, 0), 0.5f);
+}
+
+TEST(ProcTest, MedianBlurPreservesConstantRegions) {
+  Image img(8, 8, 0.3f);
+  Image out = median_blur(img, 5);
+  EXPECT_FLOAT_EQ(img.mean_abs_diff(out), 0.f);
+}
+
+TEST(ProcTest, BitDepthQuantizes) {
+  Image img(2, 2, 0.37f);
+  Image out = bit_depth_reduce(img, 1);  // levels {0, 1}
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.f);
+  img = Image(2, 2, 0.63f);
+  out = bit_depth_reduce(img, 1);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.f);
+}
+
+TEST(ProcTest, BitDepthIdempotent) {
+  Rng rng(4);
+  Image img(6, 6);
+  for (std::size_t k = 0; k < img.numel(); ++k)
+    img.data()[k] = static_cast<float>(rng.uniform());
+  Image once = bit_depth_reduce(img, 3);
+  Image twice = bit_depth_reduce(once, 3);
+  EXPECT_FLOAT_EQ(once.mean_abs_diff(twice), 0.f);
+}
+
+TEST(ProcTest, GaussianNoiseStaysInRangeAndMatchesSigma) {
+  Rng rng(5);
+  Image img(32, 32, 0.5f);
+  Image noisy = add_gaussian_noise(img, 0.1f, rng);
+  float lo = 1e9f, hi = -1e9f;
+  double var = 0.0;
+  for (std::size_t k = 0; k < noisy.numel(); ++k) {
+    lo = std::min(lo, noisy.data()[k]);
+    hi = std::max(hi, noisy.data()[k]);
+    const double d = noisy.data()[k] - 0.5;
+    var += d * d;
+  }
+  EXPECT_GE(lo, 0.f);
+  EXPECT_LE(hi, 1.f);
+  EXPECT_NEAR(std::sqrt(var / static_cast<double>(noisy.numel())), 0.1, 0.02);
+}
+
+TEST(ProcTest, ResizePreservesConstant) {
+  Image img(8, 6, 0.42f);
+  Image out = resize_bilinear(img, 15, 11);
+  EXPECT_EQ(out.width(), 15);
+  EXPECT_EQ(out.height(), 11);
+  for (std::size_t k = 0; k < out.numel(); ++k)
+    EXPECT_NEAR(out.data()[k], 0.42f, 1e-5f);
+}
+
+TEST(ProcTest, ResizeDownUpIsCloseForSmooth) {
+  Image img(16, 16);
+  fill_vertical_gradient(img, Color{0, 0, 0}, Color{1, 1, 1});
+  Image down = resize_bilinear(img, 8, 8);
+  Image up = resize_bilinear(down, 16, 16);
+  EXPECT_LT(img.mean_abs_diff(up), 0.05f);
+}
+
+TEST(ProcTest, RandomizeKeepsSize) {
+  Rng rng(6);
+  Image img(20, 20, 0.5f);
+  for (int i = 0; i < 10; ++i) {
+    Image out = randomize_transform(img, 0.8f, 1.2f, 0.01f, rng);
+    EXPECT_EQ(out.width(), 20);
+    EXPECT_EQ(out.height(), 20);
+  }
+}
+
+TEST(ProcTest, CropExtractsRegion) {
+  Image img(10, 10);
+  img.set_pixel(3, 4, 1.f, 0.f, 0.f);
+  Image out = crop(img, Box{2, 3, 4, 4});
+  EXPECT_EQ(out.width(), 4);
+  EXPECT_EQ(out.height(), 4);
+  EXPECT_FLOAT_EQ(out.at(1, 1, 0), 1.f);
+}
+
+TEST(ProcTest, PasteWritesClipped) {
+  Image dst(6, 6);
+  Image patch(3, 3, 1.f);
+  paste(dst, patch, 4, 4);  // partially off-canvas
+  EXPECT_FLOAT_EQ(dst.at(5, 5, 0), 1.f);
+  EXPECT_FLOAT_EQ(dst.at(3, 3, 0), 0.f);
+}
+
+TEST(ProcTest, RotateZeroIsNearIdentity) {
+  Rng rng(7);
+  Image img(12, 12);
+  for (std::size_t k = 0; k < img.numel(); ++k)
+    img.data()[k] = static_cast<float>(rng.uniform());
+  Image out = rotate(img, 0.f);
+  EXPECT_LT(img.mean_abs_diff(out), 1e-5f);
+}
+
+TEST(ProcTest, AbsDiffMapLocalizesChange) {
+  Image a(8, 8, 0.2f), b(8, 8, 0.2f);
+  b.set_pixel(5, 2, 0.8f, 0.8f, 0.8f);
+  auto map = abs_diff_map(a, b);
+  EXPECT_NEAR(map[2 * 8 + 5], 0.6f, 1e-5f);
+  EXPECT_FLOAT_EQ(map[0], 0.f);
+}
+
+// ---- DCT properties -------------------------------------------------------
+
+TEST(DctTest, ForwardInverseIdentity) {
+  Rng rng(8);
+  Dct dct(16);
+  std::vector<float> x(16);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+  auto c = dct.forward(x);
+  auto back = dct.inverse(c);
+  for (int i = 0; i < 16; ++i) EXPECT_NEAR(back[static_cast<std::size_t>(i)], x[static_cast<std::size_t>(i)], 1e-4f);
+}
+
+TEST(DctTest, BasisOrthonormal) {
+  Dct dct(8);
+  for (int k1 = 0; k1 < 8; ++k1)
+    for (int k2 = 0; k2 < 8; ++k2) {
+      double dot = 0.0;
+      for (int i = 0; i < 8; ++i)
+        dot += static_cast<double>(dct.basis(k1, i)) * dct.basis(k2, i);
+      EXPECT_NEAR(dot, k1 == k2 ? 1.0 : 0.0, 1e-5);
+    }
+}
+
+TEST(DctTest, Basis2dImagesUnitNormAndOrthogonal) {
+  Tensor b00 = dct2_basis_image(8, 8, 0, 0, 0);
+  Tensor b12 = dct2_basis_image(8, 8, 1, 2, 0);
+  Tensor b12c1 = dct2_basis_image(8, 8, 1, 2, 1);
+  EXPECT_NEAR(b00.norm(), 1.f, 1e-4f);
+  EXPECT_NEAR(b12.norm(), 1.f, 1e-4f);
+  EXPECT_NEAR(b00.dot(b12), 0.f, 1e-5f);
+  EXPECT_NEAR(b12.dot(b12c1), 0.f, 1e-5f);  // different channels
+}
+
+TEST(DctTest, Dct2RoundTrip) {
+  Rng rng(9);
+  const int h = 6, w = 10;
+  std::vector<float> plane(static_cast<std::size_t>(h) * w);
+  for (auto& v : plane) v = static_cast<float>(rng.uniform(-1, 1));
+  auto coeffs = dct2_forward(plane, h, w);
+  auto back = dct2_inverse(coeffs, h, w);
+  for (std::size_t i = 0; i < plane.size(); ++i)
+    EXPECT_NEAR(back[i], plane[i], 1e-4f);
+}
+
+// Parameterized: Parseval's theorem holds for every size (energy
+// preservation — what makes SimBA-DCT's perturbation bound carry over).
+class DctParsevalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DctParsevalTest, EnergyPreserved) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  Dct dct(n);
+  std::vector<float> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+  auto c = dct.forward(x);
+  double ex = 0, ec = 0;
+  for (int i = 0; i < n; ++i) {
+    ex += static_cast<double>(x[static_cast<std::size_t>(i)]) * x[static_cast<std::size_t>(i)];
+    ec += static_cast<double>(c[static_cast<std::size_t>(i)]) * c[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(ex, ec, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DctParsevalTest,
+                         ::testing::Values(2, 3, 7, 8, 16, 32, 48));
+
+}  // namespace
+}  // namespace advp

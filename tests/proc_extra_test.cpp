@@ -1,0 +1,141 @@
+// Tests for the JPEG-style compression defense and the L2 attack
+// machinery added beyond the paper's core roster.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/attack.h"
+#include "attacks/autopgd.h"
+#include "core/check.h"
+#include "core/rng.h"
+#include "defenses/preprocess.h"
+#include "image/draw.h"
+#include "image/proc.h"
+
+namespace advp {
+namespace {
+
+Image gradient_image(int w = 24, int h = 24) {
+  Image img(w, h);
+  fill_vertical_gradient(img, Color{0.1f, 0.2f, 0.3f},
+                         Color{0.9f, 0.8f, 0.7f});
+  return img;
+}
+
+TEST(JpegTest, PreservesSmoothContent) {
+  Image img = gradient_image();
+  Image out = jpeg_like_compress(img, 80);
+  EXPECT_LT(img.mean_abs_diff(out), 0.03f);
+}
+
+TEST(JpegTest, LowerQualityMoreLoss) {
+  Rng rng(1);
+  Image img = gradient_image();
+  img = add_gaussian_noise(img, 0.1f, rng);
+  const float err_hi = img.mean_abs_diff(jpeg_like_compress(img, 90));
+  const float err_lo = img.mean_abs_diff(jpeg_like_compress(img, 10));
+  EXPECT_GT(err_lo, err_hi);
+}
+
+TEST(JpegTest, ShrinksSmallPerturbationsInCompressedDomain) {
+  // The defense property in the adversarial regime (small-amplitude,
+  // dense perturbations): a model consuming compressed inputs sees a
+  // smaller perturbation — jpeg(adv) is closer to jpeg(clean) than adv is
+  // to clean, because the quantization step exceeds the per-coefficient
+  // perturbation energy. (Large sparse speckle does NOT shrink — its
+  // energy spreads across whole blocks — which is why JPEG defends
+  // against eps-bounded attacks, not salt-and-pepper corruption.)
+  Image clean = gradient_image();
+  Image adv = clean;
+  Rng rng(2);
+  for (std::size_t i = 0; i < adv.numel(); ++i)
+    adv.data()[i] = std::clamp(
+        adv.data()[i] + static_cast<float>(rng.uniform(-0.05, 0.05)), 0.f,
+        1.f);
+  Image c_clean = jpeg_like_compress(clean, 30);
+  Image c_adv = jpeg_like_compress(adv, 30);
+  EXPECT_LT(c_clean.mean_abs_diff(c_adv), clean.mean_abs_diff(adv));
+}
+
+TEST(JpegTest, HandlesNonMultipleOf8Sizes) {
+  Image img = gradient_image(19, 13);
+  Image out = jpeg_like_compress(img, 50);
+  EXPECT_EQ(out.width(), 19);
+  EXPECT_EQ(out.height(), 13);
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    EXPECT_GE(out.data()[i], 0.f);
+    EXPECT_LE(out.data()[i], 1.f);
+  }
+}
+
+TEST(JpegTest, InvalidQualityRejected) {
+  Image img = gradient_image();
+  EXPECT_THROW(jpeg_like_compress(img, 0), CheckError);
+  EXPECT_THROW(jpeg_like_compress(img, 101), CheckError);
+}
+
+TEST(JpegDefenseTest, WrapperNameAndRoundTrip) {
+  defenses::JpegDefense d(50);
+  EXPECT_EQ(d.name(), "JPEG");
+  Image img = gradient_image();
+  Image out = d.apply(img);
+  EXPECT_EQ(out.width(), img.width());
+}
+
+// ---- L2 attack machinery ------------------------------------------------
+
+TEST(ProjectL2Test, InsideBallUntouchedOutsideScaled) {
+  Tensor x0 = Tensor::full({1, 3, 4, 4}, 0.5f);
+  Tensor x = x0;
+  x[0] += 0.1f;
+  attacks::project_l2(x, x0, 1.f, Tensor());
+  EXPECT_NEAR(x[0], 0.6f, 1e-6f);  // inside: unchanged
+
+  Tensor far = x0;
+  far += 0.4f;  // ||delta||_2 = 0.4 * sqrt(48) ~ 2.77 > 1
+  attacks::project_l2(far, x0, 1.f, Tensor());
+  Tensor d = far - x0;
+  EXPECT_NEAR(d.norm(), 1.f, 1e-4f);
+}
+
+TEST(ProjectL2Test, MaskResetsOutside) {
+  Tensor x0 = Tensor::full({1, 3, 4, 4}, 0.5f);
+  Tensor x = Tensor::full({1, 3, 4, 4}, 0.9f);
+  Tensor mask = attacks::make_box_mask(4, 4, Box{0, 0, 2, 2});
+  attacks::project_l2(x, x0, 10.f, mask);
+  EXPECT_FLOAT_EQ(x.at(0, 0, 3, 3), 0.5f);
+  EXPECT_FLOAT_EQ(x.at(0, 0, 0, 0), 0.9f);
+}
+
+TEST(L2PgdTest, RespectsL2BudgetAndAscends) {
+  Rng rng(3);
+  Tensor w = Tensor::randn({1, 3, 6, 6}, rng);
+  auto oracle = [&](const Tensor& x) {
+    return attacks::LossGrad{x.dot(w), w};
+  };
+  Tensor x = Tensor::full({1, 3, 6, 6}, 0.5f);
+  Tensor adv = attacks::l2_pgd(x, /*eps=*/0.5f, /*step=*/0.2f, 10, oracle);
+  Tensor d = adv - x;
+  EXPECT_LE(d.norm(), 0.5f + 1e-4f);
+  EXPECT_GT(oracle(adv).loss, oracle(x).loss);
+}
+
+TEST(L2PgdTest, SpreadsPerturbationAcrossPixels) {
+  Rng rng(4);
+  Tensor w = Tensor::randn({1, 3, 6, 6}, rng);
+  auto oracle = [&](const Tensor& x) {
+    return attacks::LossGrad{x.dot(w), w};
+  };
+  Tensor x = Tensor::full({1, 3, 6, 6}, 0.5f);
+  Tensor adv = attacks::l2_pgd(x, 0.5f, 0.2f, 10, oracle);
+  Tensor d = adv - x;
+  // Unlike Linf, no single pixel should hold the whole budget.
+  EXPECT_LT(d.abs_max(), 0.4f);
+  int touched = 0;
+  for (std::size_t i = 0; i < d.numel(); ++i)
+    if (std::fabs(d[i]) > 1e-5f) ++touched;
+  EXPECT_GT(touched, 50);
+}
+
+}  // namespace
+}  // namespace advp

@@ -1,0 +1,114 @@
+// Regression tests for bugs found during development — each encodes a
+// failure mode that silently corrupted experiment results once.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "advper.h"
+
+namespace advp {
+namespace {
+
+// Bug 1: BatchNorm running statistics were not serialized, so models
+// loaded from the weight cache evaluated with default (0/1) statistics
+// and silently lost ~30 mAP. Eval-mode outputs must round-trip exactly.
+TEST(RegressionTest, BatchNormStatsSurviveSerialization) {
+  Rng rng(1);
+  nn::Sequential a;
+  a.emplace<nn::Conv2d>(3, 4, 3, 1, 1, rng);
+  a.emplace<nn::BatchNorm2d>(4);
+  a.emplace<nn::SiLU>();
+  // Drive the running stats away from their defaults.
+  for (int i = 0; i < 5; ++i) {
+    Tensor warm = Tensor::randn({4, 3, 6, 6}, rng, 2.f);
+    warm += 3.f;
+    a.forward(warm, /*train=*/true);
+  }
+  Tensor x = Tensor::rand({1, 3, 6, 6}, rng);
+  Tensor y_before = a.forward(x, /*train=*/false);
+
+  nn::Sequential b;
+  b.emplace<nn::Conv2d>(3, 4, 3, 1, 1, rng);
+  b.emplace<nn::BatchNorm2d>(4);
+  b.emplace<nn::SiLU>();
+  std::stringstream ss;
+  nn::save_params(a, ss);
+  nn::load_params(b, ss);
+  Tensor y_after = b.forward(x, /*train=*/false);
+
+  ASSERT_TRUE(y_before.same_shape(y_after));
+  for (std::size_t i = 0; i < y_before.numel(); ++i)
+    ASSERT_FLOAT_EQ(y_before[i], y_after[i]) << "at " << i;
+}
+
+// Bug 2: a sigmoid regression head saturated on some seeds (logits far
+// from 0 at init -> vanishing gradients -> constant predictions). The
+// linear head plus scaled init must train to sane error on any seed.
+TEST(RegressionTest, DistNetTrainsOnEverySeed) {
+  auto train = data::make_driving_dataset(96, 501);
+  auto test = data::make_driving_dataset(24, 502);
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Rng rng(seed);
+    models::DistNet model(models::DistNetConfig{}, rng);
+    models::TrainConfig tc;
+    tc.epochs = 8;
+    tc.lr = 2e-3f;
+    models::train_distnet(model, train, tc);
+    double mae = 0;
+    for (const auto& f : test.frames)
+      mae += std::fabs(model.predict(f.image.to_batch())[0] - f.distance);
+    mae /= static_cast<double>(test.size());
+    EXPECT_LT(mae, 25.0) << "seed " << seed << " collapsed (MAE " << mae
+                         << " m)";
+  }
+}
+
+// Bug 3: optimizers must leave BatchNorm's zero-gradient buffer params
+// untouched (they ride along in collect_params for serialization).
+TEST(RegressionTest, OptimizersDoNotTouchBnBuffers) {
+  Rng rng(2);
+  nn::BatchNorm2d bn(3);
+  Tensor warm = Tensor::randn({2, 3, 4, 4}, rng, 1.5f);
+  bn.forward(warm, true);
+  const Tensor mean_before = bn.running_mean();
+  const Tensor var_before = bn.running_var();
+
+  auto params = bn.params();
+  nn::Adam adam(params, 0.1f);
+  nn::Sgd sgd(params, 0.1f, 0.9f);
+  // Give gamma/beta real gradients; buffers keep zero grads.
+  params[0]->grad.fill(1.f);
+  params[1]->grad.fill(1.f);
+  adam.step();
+  sgd.step();
+
+  for (std::size_t i = 0; i < mean_before.numel(); ++i) {
+    EXPECT_FLOAT_EQ(bn.running_mean()[i], mean_before[i]);
+    EXPECT_FLOAT_EQ(bn.running_var()[i], var_before[i]);
+  }
+}
+
+// Bug 4: the randomization defense must not grow or shrink the canvas —
+// downstream models hard-require fixed input geometry.
+TEST(RegressionTest, RandomizationPreservesGeometryAcrossDraws) {
+  defenses::RandomizationDefense d(77);
+  Image img(48, 48, 0.5f);
+  for (int i = 0; i < 25; ++i) {
+    Image out = d.apply(img);
+    ASSERT_EQ(out.width(), 48);
+    ASSERT_EQ(out.height(), 48);
+  }
+}
+
+// Umbrella header sanity: everything above compiled through advper.h.
+TEST(RegressionTest, UmbrellaHeaderExposesCoreTypes) {
+  Rng rng(3);
+  Tensor t = Tensor::rand({2, 2}, rng);
+  EXPECT_EQ(t.numel(), 4u);
+  Box b{0, 0, 1, 1};
+  EXPECT_FLOAT_EQ(iou(b, b), 1.f);
+}
+
+}  // namespace
+}  // namespace advp

@@ -1,0 +1,54 @@
+// Tests for the scenario library and trace export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/scenarios.h"
+
+namespace advp::sim {
+namespace {
+
+TEST(ScenarioLibraryTest, FourStandardScenarios) {
+  auto all = standard_scenarios();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "steady_follow");
+  EXPECT_EQ(all[3].name, "cut_in");
+  for (const auto& s : all) {
+    EXPECT_GT(s.scenario.duration, 0.f);
+    EXPECT_GT(s.scenario.initial_gap, 0.f);
+  }
+}
+
+TEST(ScenarioLibraryTest, StopAndGoReleasesBrake) {
+  auto sc = stop_and_go();
+  EXPECT_GE(sc.lead_brake_at, 0.f);
+  EXPECT_LT(sc.lead_brake_until, sc.duration);
+}
+
+TEST(ScenarioLibraryTest, CutInConfigured) {
+  auto sc = cut_in();
+  EXPECT_GE(sc.cut_in_at, 0.f);
+  EXPECT_LT(sc.cut_in_gap, sc.initial_gap);
+}
+
+TEST(TraceCsvTest, WritesHeaderAndRows) {
+  AccResult res;
+  res.trace = {{0.f, 30.f, 29.f, 15.f, 15.f, 0.1f},
+               {0.1f, 29.9f, 29.2f, 15.f, 15.f, -0.2f}};
+  const std::string path = ::testing::TempDir() + "/advp_trace.csv";
+  write_trace_csv(res, path);
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "time,true_gap,predicted_gap,v_ego,v_lead,accel_cmd");
+  int rows = 0;
+  while (std::getline(is, line))
+    if (!line.empty()) ++rows;
+  EXPECT_EQ(rows, 2);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace advp::sim

@@ -1,0 +1,159 @@
+// Tests for the closed-loop ACC simulator: control-law unit tests plus a
+// causal system-level test — corrupting the perceived lead vehicle turns a
+// safe braking scenario into a near-collision.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "models/zoo.h"
+#include "sim/acc_sim.h"
+
+namespace advp::sim {
+namespace {
+
+TEST(ControlLawTest, LargeGapAcceleratesTowardCruise) {
+  AccParams p;
+  const float a = longitudinal_accel(p, /*gap=*/80.f, /*v_ego=*/10.f,
+                                     /*closing=*/0.f);
+  EXPECT_GT(a, 0.f);
+  EXPECT_LE(a, p.max_accel);
+}
+
+TEST(ControlLawTest, ShortGapBrakes) {
+  AccParams p;
+  const float a = longitudinal_accel(p, /*gap=*/5.f, /*v_ego=*/20.f,
+                                     /*closing=*/3.f);
+  EXPECT_LT(a, 0.f);
+  EXPECT_GE(a, p.max_brake);
+}
+
+TEST(ControlLawTest, CruiseLimitCapsAcceleration) {
+  AccParams p;
+  p.v_des = 15.f;
+  // Huge gap but already at set speed: no further acceleration.
+  const float a = longitudinal_accel(p, 200.f, 15.f, 0.f);
+  EXPECT_LE(a, 0.01f);
+}
+
+TEST(ControlLawTest, ClosingSpeedInducesBraking) {
+  AccParams p;
+  const float steady = longitudinal_accel(p, 40.f, 15.f, 0.f);
+  const float closing = longitudinal_accel(p, 40.f, 15.f, 5.f);
+  EXPECT_LT(closing, steady);
+}
+
+TEST(ControlLawTest, OutputAlwaysWithinActuatorLimits) {
+  AccParams p;
+  for (float gap : {0.5f, 10.f, 50.f, 200.f})
+    for (float v : {0.f, 10.f, 30.f})
+      for (float c : {-10.f, 0.f, 10.f}) {
+        const float a = longitudinal_accel(p, gap, v, c);
+        EXPECT_GE(a, p.max_brake);
+        EXPECT_LE(a, p.max_accel);
+      }
+}
+
+class AccSimIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(1);
+    model_ = new models::DistNet(models::DistNetConfig{}, rng);
+    auto train = data::make_driving_dataset(192, 71);
+    models::TrainConfig tc;
+    tc.epochs = 20;
+    tc.lr = 2e-3f;
+    models::train_distnet(*model_, train, tc);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+  }
+  static models::DistNet* model_;
+};
+
+models::DistNet* AccSimIntegrationTest::model_ = nullptr;
+
+TEST_F(AccSimIntegrationTest, BenignFollowingKeepsSafeGap) {
+  AccSimulator sim(*model_, data::DrivingSceneGenerator{});
+  AccScenario sc;
+  sc.initial_gap = 40.f;
+  sc.v_ego = 16.f;
+  sc.v_lead = 16.f;
+  sc.duration = 10.f;
+  Rng rng(2);
+  AccResult res = sim.run(sc, rng);
+  EXPECT_FALSE(res.collided);
+  EXPECT_GT(res.min_gap, 5.f);
+  EXPECT_FALSE(res.trace.empty());
+  EXPECT_LT(res.mean_abs_gap_error, 12.f);
+}
+
+TEST_F(AccSimIntegrationTest, LeadBrakingHandledWhenPerceptionClean) {
+  AccSimulator sim(*model_, data::DrivingSceneGenerator{});
+  AccScenario sc;
+  sc.initial_gap = 35.f;
+  sc.v_ego = 15.f;
+  sc.v_lead = 15.f;
+  sc.lead_brake_at = 3.f;
+  sc.lead_brake = -2.f;
+  sc.duration = 14.f;
+  Rng rng(3);
+  AccResult res = sim.run(sc, rng);
+  EXPECT_FALSE(res.collided);
+  EXPECT_GT(res.min_gap, 2.f);
+}
+
+TEST_F(AccSimIntegrationTest, BlindedPerceptionDegradesSafety) {
+  AccSimulator sim(*model_, data::DrivingSceneGenerator{});
+  AccScenario sc;
+  sc.initial_gap = 35.f;
+  sc.v_ego = 15.f;
+  sc.v_lead = 15.f;
+  sc.lead_brake_at = 3.f;
+  sc.lead_brake = -2.f;
+  sc.duration = 14.f;
+
+  Rng rng_clean(4);
+  AccResult clean = sim.run(sc, rng_clean);
+
+  // "Attack": erase the lead vehicle from the camera view (the strongest
+  // possible perception corruption; real attacks approximate this).
+  auto erase_lead = [](const Tensor& frame, const Box& box) {
+    Tensor out = frame;
+    const int h = frame.dim(2), w = frame.dim(3);
+    for (int c = 0; c < 3; ++c)
+      for (int y = std::max(0, static_cast<int>(box.y));
+           y < std::min(h, static_cast<int>(box.bottom()) + 1); ++y)
+        for (int x = std::max(0, static_cast<int>(box.x));
+             x < std::min(w, static_cast<int>(box.right()) + 1); ++x)
+          out.at(0, c, y, x) = 0.33f;  // road gray
+    return out;
+  };
+  Rng rng_attack(4);
+  AccResult attacked = sim.run(sc, rng_attack, erase_lead);
+
+  // The corrupted run must come closer to the lead than the clean run.
+  EXPECT_LT(attacked.min_gap, clean.min_gap);
+}
+
+TEST_F(AccSimIntegrationTest, TraceIsConsistent) {
+  AccSimulator sim(*model_, data::DrivingSceneGenerator{});
+  AccScenario sc;
+  sc.duration = 5.f;
+  Rng rng(5);
+  AccResult res = sim.run(sc, rng);
+  ASSERT_GE(res.trace.size(), 2u);
+  for (std::size_t i = 1; i < res.trace.size(); ++i) {
+    EXPECT_NEAR(res.trace[i].time - res.trace[i - 1].time,
+                sim.params().dt, 1e-4f);
+    EXPECT_GE(res.trace[i].v_ego, 0.f);
+  }
+  // min_gap matches the trace minimum (final physics step may dip lower).
+  float trace_min = 1e9f;
+  for (const auto& s : res.trace) trace_min = std::min(trace_min, s.true_gap);
+  EXPECT_LE(res.min_gap, trace_min + 1e-4f);
+}
+
+}  // namespace
+}  // namespace advp::sim

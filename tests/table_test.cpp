@@ -1,0 +1,108 @@
+// Tests for the ASCII table renderer and extra metric properties.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/check.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+
+namespace advp::eval {
+namespace {
+
+TEST(TableTest, NumFormatsDecimals) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(TableTest, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), CheckError);
+  EXPECT_NO_THROW(t.add_row({"x", "y"}));
+}
+
+TEST(TableTest, RendersAlignedGrid) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"a-much-longer-name", "23.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Separator rows (top, after header, bottom).
+  int seps = 0;
+  std::istringstream is(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] == '+') ++seps;
+    if (width == 0) width = line.size();
+    if (!line.empty()) EXPECT_EQ(line.size(), width);  // rectangular
+  }
+  EXPECT_EQ(seps, 3);
+}
+
+TEST(TableTest, EmptyTableStillPrintsHeader) {
+  Table t({"h1", "h2", "h3"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("h2"), std::string::npos);
+}
+
+// Parameterized metric property: matching is monotone in the IoU
+// threshold — raising it can only lose true positives.
+class IouSweepTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(IouSweepTest, RecallMonotoneInIou) {
+  const float iou_thr = GetParam();
+  std::vector<DetectionRecord> records;
+  DetectionRecord rec;
+  rec.ground_truth = {Box{0, 0, 10, 10}, Box{20, 20, 8, 8}};
+  rec.detections = {{Box{1, 1, 10, 10}, 0.9f},   // IoU ~0.68
+                    {Box{22, 22, 8, 8}, 0.8f}};  // IoU ~0.47
+  records.push_back(rec);
+  auto m_lo = evaluate_detections(records, iou_thr);
+  auto m_hi = evaluate_detections(records, std::min(0.95f, iou_thr + 0.2f));
+  EXPECT_GE(m_lo.recall, m_hi.recall);
+  EXPECT_GE(m_lo.map50, m_hi.map50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, IouSweepTest,
+                         ::testing::Values(0.1f, 0.3f, 0.5f, 0.7f));
+
+TEST(MetricsExtraTest, PrConfFiltersLowScores) {
+  DetectionRecord rec;
+  rec.ground_truth = {Box{0, 0, 10, 10}};
+  rec.detections = {{Box{0, 0, 10, 10}, 0.3f},   // below pr_conf
+                    {Box{30, 30, 5, 5}, 0.2f}};  // below pr_conf, FP
+  auto loose = evaluate_detections({rec}, 0.5f, 0.f);
+  auto strict = evaluate_detections({rec}, 0.5f, 0.5f);
+  // At pr_conf 0.5 nothing qualifies: zero TP and FP, recall 0.
+  EXPECT_EQ(strict.true_positives, 0);
+  EXPECT_EQ(strict.false_positives, 0);
+  EXPECT_FLOAT_EQ(strict.recall, 0.f);
+  // AP is unaffected by pr_conf (uses all detections).
+  EXPECT_FLOAT_EQ(loose.map50, strict.map50);
+}
+
+TEST(MetricsExtraTest, EmptyRecordsPerfectlyEmpty) {
+  auto m = evaluate_detections({});
+  EXPECT_FLOAT_EQ(m.map50, 1.f);  // vacuous: no GT, no detections
+  EXPECT_EQ(m.true_positives, 0);
+}
+
+TEST(MetricsExtraTest, CrossImageMatchingIsolated) {
+  // A detection in image A must not match ground truth in image B.
+  DetectionRecord a, b;
+  a.ground_truth = {Box{0, 0, 10, 10}};
+  b.detections = {{Box{0, 0, 10, 10}, 0.9f}};
+  auto m = evaluate_detections({a, b});
+  EXPECT_EQ(m.true_positives, 0);
+  EXPECT_EQ(m.false_positives, 1);
+  EXPECT_EQ(m.false_negatives, 1);
+}
+
+}  // namespace
+}  // namespace advp::eval

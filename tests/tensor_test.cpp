@@ -1,0 +1,291 @@
+// Unit + property tests for the tensor substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace advp {
+namespace {
+
+TEST(TensorTest, ConstructZeroFilled) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_EQ(t.rank(), 2);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.f);
+}
+
+TEST(TensorTest, AtIndexingRowMajor) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 5.f;
+  EXPECT_EQ(t[5], 5.f);
+  t.at(0, 1) = 3.f;
+  EXPECT_EQ(t[1], 3.f);
+}
+
+TEST(TensorTest, Rank4Indexing) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.f;
+  EXPECT_EQ(t[static_cast<std::size_t>(1 * 3 * 4 * 5 + 2 * 4 * 5 + 3 * 5 + 4)], 9.f);
+}
+
+TEST(TensorTest, ElementwiseArithmetic) {
+  Tensor a = Tensor::full({2, 2}, 2.f);
+  Tensor b = Tensor::full({2, 2}, 3.f);
+  Tensor c = a + b;
+  EXPECT_EQ(c[0], 5.f);
+  c -= a;
+  EXPECT_EQ(c[3], 3.f);
+  c *= b;
+  EXPECT_EQ(c[1], 9.f);
+  c *= 0.5f;
+  EXPECT_EQ(c[2], 4.5f);
+}
+
+TEST(TensorTest, ShapeMismatchThrows) {
+  Tensor a({2, 2}), b({2, 3});
+  EXPECT_THROW(a += b, CheckError);
+  EXPECT_THROW(a.dot(b), CheckError);
+}
+
+TEST(TensorTest, ReshapeInfersDim) {
+  Tensor a({2, 6});
+  Tensor b = a.reshape({3, -1});
+  EXPECT_EQ(b.dim(0), 3);
+  EXPECT_EQ(b.dim(1), 4);
+  EXPECT_THROW(a.reshape({5, -1}), CheckError);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t = Tensor::from_vector({4}, {1.f, -2.f, 3.f, 0.5f});
+  EXPECT_FLOAT_EQ(t.sum(), 2.5f);
+  EXPECT_FLOAT_EQ(t.mean(), 0.625f);
+  EXPECT_FLOAT_EQ(t.min(), -2.f);
+  EXPECT_FLOAT_EQ(t.max(), 3.f);
+  EXPECT_EQ(t.argmax(), 2u);
+  EXPECT_FLOAT_EQ(t.abs_max(), 3.f);
+  EXPECT_FLOAT_EQ(t.sq_norm(), 1.f + 4.f + 9.f + 0.25f);
+}
+
+TEST(TensorTest, ClampAndApply) {
+  Tensor t = Tensor::from_vector({3}, {-1.f, 0.5f, 2.f});
+  t.clamp(0.f, 1.f);
+  EXPECT_EQ(t[0], 0.f);
+  EXPECT_EQ(t[1], 0.5f);
+  EXPECT_EQ(t[2], 1.f);
+  t.apply([](float v) { return v * 2.f; });
+  EXPECT_EQ(t[2], 2.f);
+}
+
+TEST(TensorTest, AxpyMatchesManual) {
+  Tensor a = Tensor::from_vector({3}, {1.f, 2.f, 3.f});
+  Tensor b = Tensor::from_vector({3}, {4.f, 5.f, 6.f});
+  Tensor c = axpy(a, 0.5f, b);
+  EXPECT_FLOAT_EQ(c[0], 3.f);
+  EXPECT_FLOAT_EQ(c[2], 6.f);
+}
+
+TEST(TensorTest, RandnStatistics) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({64, 64}, rng, 2.f);
+  EXPECT_NEAR(t.mean(), 0.f, 0.15f);
+  const float var = t.sq_norm() / static_cast<float>(t.numel());
+  EXPECT_NEAR(var, 4.f, 0.5f);
+}
+
+TEST(MatmulTest, SmallKnownProduct) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_vector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.f);
+}
+
+TEST(MatmulTest, TransposeRoundTrip) {
+  Rng rng(2);
+  Tensor a = Tensor::randn({5, 7}, rng);
+  Tensor t = transpose(transpose(a));
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a[i], t[i]);
+}
+
+TEST(MatmulTest, InnerDimMismatchThrows) {
+  Tensor a({2, 3}), b({4, 2});
+  EXPECT_THROW(matmul(a, b), CheckError);
+}
+
+TEST(ConvTest, IdentityKernelPreservesInput) {
+  Rng rng(3);
+  Tensor x = Tensor::randn({1, 1, 5, 5}, rng);
+  Conv2dSpec spec{1, 1, 3, 1, 1};
+  Tensor w({1, 1, 3, 3});
+  w.at(0, 0, 1, 1) = 1.f;  // delta kernel
+  Tensor b({1});
+  Tensor y = conv2d_forward(x, w, b, spec);
+  ASSERT_TRUE(y.same_shape(x));
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_NEAR(y[i], x[i], 1e-6f);
+}
+
+TEST(ConvTest, StrideTwoHalvesOutput) {
+  Tensor x({1, 2, 8, 8});
+  Conv2dSpec spec{2, 4, 3, 2, 1};
+  Rng rng(4);
+  Tensor w = Tensor::randn({4, 2, 3, 3}, rng);
+  Tensor b({4});
+  Tensor y = conv2d_forward(x, w, b, spec);
+  EXPECT_EQ(y.dim(2), 4);
+  EXPECT_EQ(y.dim(3), 4);
+}
+
+TEST(ConvTest, BiasAddsUniformly) {
+  Tensor x({1, 1, 4, 4});
+  Conv2dSpec spec{1, 2, 3, 1, 1};
+  Tensor w({2, 1, 3, 3});
+  Tensor b = Tensor::from_vector({2}, {1.5f, -0.5f});
+  Tensor y = conv2d_forward(x, w, b, spec);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 2, 2), 1.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 1, 1), -0.5f);
+}
+
+// Property: conv2d_backward's input gradient matches numeric differentiation.
+TEST(ConvTest, BackwardMatchesNumericGradient) {
+  Rng rng(5);
+  Tensor x = Tensor::randn({1, 2, 5, 5}, rng, 0.5f);
+  Conv2dSpec spec{2, 3, 3, 1, 1};
+  Tensor w = Tensor::randn({3, 2, 3, 3}, rng, 0.3f);
+  Tensor b = Tensor::randn({3}, rng, 0.1f);
+
+  // Scalar objective: sum of outputs.
+  auto f = [&](const Tensor& xx) {
+    return conv2d_forward(xx, w, b, spec).sum();
+  };
+  Tensor dy = Tensor::ones({1, 3, 5, 5});
+  Conv2dGrads g = conv2d_backward(x, w, dy, spec);
+
+  const float h = 1e-3f;
+  for (std::size_t i : {0ul, 7ul, 23ul, 49ul}) {
+    Tensor xp = x;
+    xp[i] += h;
+    Tensor xm = x;
+    xm[i] -= h;
+    const float num = (f(xp) - f(xm)) / (2.f * h);
+    EXPECT_NEAR(g.dx[i], num, 5e-2f) << "at index " << i;
+  }
+}
+
+TEST(ConvTest, WeightGradientMatchesNumeric) {
+  Rng rng(6);
+  Tensor x = Tensor::randn({2, 1, 4, 4}, rng, 0.5f);
+  Conv2dSpec spec{1, 2, 3, 1, 1};
+  Tensor w = Tensor::randn({2, 1, 3, 3}, rng, 0.3f);
+  Tensor b({2});
+  auto f = [&](const Tensor& ww) {
+    return conv2d_forward(x, ww, b, spec).sum();
+  };
+  Tensor dy = Tensor::ones({2, 2, 4, 4});
+  Conv2dGrads g = conv2d_backward(x, w, dy, spec);
+  const float h = 1e-3f;
+  for (std::size_t i : {0ul, 5ul, 11ul, 17ul}) {
+    Tensor wp = w;
+    wp[i] += h;
+    Tensor wm = w;
+    wm[i] -= h;
+    const float num = (f(wp) - f(wm)) / (2.f * h);
+    EXPECT_NEAR(g.dw[i], num, 5e-2f) << "at index " << i;
+  }
+}
+
+TEST(PoolTest, MaxPoolPicksMaxAndRoutesGradient) {
+  Tensor x({1, 1, 2, 2});
+  x.at(0, 0, 0, 0) = 1.f;
+  x.at(0, 0, 0, 1) = 4.f;
+  x.at(0, 0, 1, 0) = 2.f;
+  x.at(0, 0, 1, 1) = 3.f;
+  std::vector<int> argmax;
+  Tensor y = maxpool2x2_forward(x, &argmax);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 4.f);
+  Tensor dy = Tensor::ones({1, 1, 1, 1});
+  Tensor dx = maxpool2x2_backward(dy, argmax, x.shape());
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 0, 1), 1.f);
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 0, 0), 0.f);
+}
+
+TEST(PoolTest, GlobalAvgPoolForwardBackward) {
+  Tensor x = Tensor::full({1, 2, 2, 2}, 3.f);
+  x.at(0, 0, 0, 0) = 7.f;
+  Tensor y = global_avgpool_forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 4.f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 3.f);
+  Tensor dy = Tensor::ones({1, 2});
+  Tensor dx = global_avgpool_backward(dy, x.shape());
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 1, 1), 0.25f);
+}
+
+TEST(UpsampleTest, ForwardReplicatesBackwardSums) {
+  Tensor x({1, 1, 2, 2});
+  x.at(0, 0, 0, 0) = 1.f;
+  x.at(0, 0, 1, 1) = 2.f;
+  Tensor y = upsample2x_forward(x);
+  EXPECT_EQ(y.dim(2), 4);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 1.f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 3, 3), 2.f);
+  Tensor dx = upsample2x_backward(y);
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 0, 0), 4.f);
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 1, 1), 8.f);
+}
+
+TEST(SoftmaxTest, RowsSumToOneAndStable) {
+  Tensor logits = Tensor::from_vector({2, 3}, {1000.f, 1000.f, 1000.f,
+                                               -5.f, 0.f, 5.f});
+  Tensor p = softmax_rows(logits);
+  for (int i = 0; i < 2; ++i) {
+    float s = 0.f;
+    for (int j = 0; j < 3; ++j) s += p.at(i, j);
+    EXPECT_NEAR(s, 1.f, 1e-5f);
+  }
+  EXPECT_NEAR(p.at(0, 0), 1.f / 3.f, 1e-5f);
+  EXPECT_GT(p.at(1, 2), p.at(1, 1));
+}
+
+TEST(SigmoidTest, StableAtExtremes) {
+  EXPECT_NEAR(sigmoidf(0.f), 0.5f, 1e-6f);
+  EXPECT_NEAR(sigmoidf(100.f), 1.f, 1e-6f);
+  EXPECT_NEAR(sigmoidf(-100.f), 0.f, 1e-6f);
+}
+
+// Parameterized property sweep: conv forward/backward shape coherence
+// across geometries.
+struct ConvGeom {
+  int cin, cout, k, stride, pad, size;
+};
+
+class ConvGeometryTest : public ::testing::TestWithParam<ConvGeom> {};
+
+TEST_P(ConvGeometryTest, ShapesAndGradShapesAgree) {
+  const ConvGeom g = GetParam();
+  Rng rng(42);
+  Tensor x = Tensor::randn({2, g.cin, g.size, g.size}, rng);
+  Conv2dSpec spec{g.cin, g.cout, g.k, g.stride, g.pad};
+  Tensor w = Tensor::randn({g.cout, g.cin, g.k, g.k}, rng);
+  Tensor b({g.cout});
+  Tensor y = conv2d_forward(x, w, b, spec);
+  EXPECT_EQ(y.dim(1), g.cout);
+  EXPECT_EQ(y.dim(2), spec.out_h(g.size));
+  Conv2dGrads grads = conv2d_backward(x, w, y, spec);
+  EXPECT_TRUE(grads.dx.same_shape(x));
+  EXPECT_TRUE(grads.dw.same_shape(w));
+  EXPECT_EQ(grads.db.dim(0), g.cout);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGeometryTest,
+    ::testing::Values(ConvGeom{1, 1, 1, 1, 0, 4}, ConvGeom{3, 8, 3, 1, 1, 8},
+                      ConvGeom{2, 4, 3, 2, 1, 8}, ConvGeom{4, 2, 5, 1, 2, 9},
+                      ConvGeom{8, 16, 1, 1, 0, 6}));
+
+}  // namespace
+}  // namespace advp
