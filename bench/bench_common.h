@@ -28,24 +28,26 @@ inline std::vector<defenses::AttackKind> all_attacks() {
 }
 
 /// SceneAttack closure for the detection task (white-box vs `victim`).
+/// Each scene draws from its own RNG stream (seed x scene index), so the
+/// attacked set is independent of evaluation order and worker count.
 inline eval::SceneAttack sign_attack(defenses::AttackKind kind,
                                      models::TinyYolo& victim,
                                      std::uint64_t seed,
                                      defenses::SignAttackParams params = {}) {
-  auto rng = std::make_shared<Rng>(seed);
-  return [kind, &victim, rng, params](const data::SignScene& scene) {
-    return defenses::attack_sign_scene(scene, kind, victim, *rng, params);
+  return [kind, &victim, seed, params](const data::SignScene& scene,
+                                       std::size_t index) {
+    Rng rng(Rng::stream_seed(seed, index));
+    return defenses::attack_sign_scene(scene, kind, victim, rng, params);
   };
 }
 
 /// SequenceAttackFactory for the regression task. CAP gets a fresh patch
 /// per sequence and runs frame-to-frame; the others attack frames
-/// independently.
+/// independently on a per-sequence RNG stream (seed x sequence index).
 inline eval::SequenceAttackFactory drive_attack(
     defenses::AttackKind kind, models::DistNet& victim, std::uint64_t seed,
     defenses::DrivingAttackParams params = {}) {
-  auto rng = std::make_shared<Rng>(seed);
-  return [kind, &victim, rng, params]() -> eval::FrameAttack {
+  return [kind, &victim, seed, params](std::size_t seq) -> eval::FrameAttack {
     if (kind == defenses::AttackKind::kCapRp2) {
       attacks::CapParams cp;
       cp.steps_per_frame = 2;  // runtime budget: streaming frames
@@ -60,6 +62,7 @@ inline eval::SequenceAttackFactory drive_attack(
         return Image::from_batch(adv, 0);
       };
     }
+    auto rng = std::make_shared<Rng>(Rng::stream_seed(seed, seq));
     return [kind, &victim, rng, params](const data::DrivingFrame& f) {
       return defenses::attack_driving_frame(f, kind, victim, *rng, params);
     };
@@ -92,8 +95,10 @@ inline DriveAttackCache build_drive_cache(
     eval::Harness& harness, models::DistNet& model,
     const eval::SequenceAttackFactory& factory) {
   DriveAttackCache cache;
+  std::size_t seq_index = 0;
   for (const auto& seq : harness.eval_sequences()) {
-    eval::FrameAttack attack = factory ? factory() : eval::FrameAttack();
+    eval::FrameAttack attack =
+        factory ? factory(seq_index++) : eval::FrameAttack();
     for (const auto& f : seq) {
       cache.dist.push_back(f.distance);
       cache.clean_pred.push_back(model.predict(f.image.to_batch())[0]);

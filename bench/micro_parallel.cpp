@@ -1,0 +1,126 @@
+// Serial vs parallel throughput for the threaded hot paths: conv2d
+// forward/backward and a full Harness::evaluate_sign_task pass. Emits a
+// JSON object on stdout alongside the table benches' text output, e.g.
+//
+//   {"workers": 4, "conv2d_forward": {"serial_ms": ..., "parallel_ms": ...,
+//    "speedup": ...}, ...}
+//
+// Each section also cross-checks that the 1-worker and N-worker results
+// are identical — the determinism contract the test layer enforces.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/parallel.h"
+#include "eval/harness.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace advp;
+
+using Clock = std::chrono::steady_clock;
+
+// Best-of-`reps` wall time in milliseconds.
+template <typename Fn>
+double time_ms(int reps, Fn fn) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const auto t1 = Clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+void print_section(const char* name, double serial_ms, double parallel_ms,
+                   bool identical, bool last = false) {
+  std::printf(
+      "  \"%s\": {\"serial_ms\": %.3f, \"parallel_ms\": %.3f, "
+      "\"speedup\": %.2f, \"identical\": %s}%s\n",
+      name, serial_ms, parallel_ms, serial_ms / parallel_ms,
+      identical ? "true" : "false", last ? "" : ",");
+}
+
+bool tensors_equal(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) return false;
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t workers = hardware_workers();
+
+  // ---- conv2d forward + backward ----------------------------------------
+  Rng rng(1);
+  Conv2dSpec spec;
+  spec.in_channels = 16;
+  spec.out_channels = 32;
+  Tensor x = Tensor::randn({8, 16, 32, 32}, rng);
+  Tensor w = Tensor::randn({32, 16, 3, 3}, rng, 0.1f);
+  Tensor b = Tensor::randn({32}, rng, 0.1f);
+  Tensor y_serial, y_parallel;
+  double fwd_serial, fwd_parallel, bwd_serial, bwd_parallel;
+  {
+    ScopedMaxWorkers one(1);
+    fwd_serial = time_ms(5, [&] { y_serial = conv2d_forward(x, w, b, spec); });
+  }
+  fwd_parallel = time_ms(5, [&] { y_parallel = conv2d_forward(x, w, b, spec); });
+
+  Tensor dy = Tensor::randn(y_serial.shape(), rng);
+  Conv2dGrads g_serial, g_parallel;
+  {
+    ScopedMaxWorkers one(1);
+    bwd_serial =
+        time_ms(5, [&] { g_serial = conv2d_backward(x, w, dy, spec); });
+  }
+  bwd_parallel =
+      time_ms(5, [&] { g_parallel = conv2d_backward(x, w, dy, spec); });
+
+  // ---- full evaluate_sign_task pass -------------------------------------
+  eval::HarnessConfig cfg;
+  cfg.sign_train = 48;
+  cfg.sign_test = 48;
+  cfg.detector_epochs = 4;
+  cfg.cache_dir = (std::filesystem::temp_directory_path() /
+                   "advp_micro_parallel_cache")
+                      .string();
+  cfg.cache_tag = "micro_parallel";
+  eval::Harness harness(cfg);
+  models::TinyYolo& det = harness.detector();
+
+  eval::DetectionMetrics m_serial, m_parallel;
+  double eval_serial, eval_parallel;
+  {
+    ScopedMaxWorkers one(1);
+    eval_serial = time_ms(3, [&] {
+      m_serial = harness.evaluate_sign_task(det, harness.sign_test(), nullptr,
+                                            nullptr);
+    });
+  }
+  eval_parallel = time_ms(3, [&] {
+    m_parallel =
+        harness.evaluate_sign_task(det, harness.sign_test(), nullptr, nullptr);
+  });
+  const bool eval_identical = m_serial.map50 == m_parallel.map50 &&
+                              m_serial.precision == m_parallel.precision &&
+                              m_serial.recall == m_parallel.recall;
+
+  std::printf("{\n  \"workers\": %zu,\n", workers);
+  print_section("conv2d_forward", fwd_serial, fwd_parallel,
+                tensors_equal(y_serial, y_parallel));
+  print_section("conv2d_backward", bwd_serial, bwd_parallel,
+                tensors_equal(g_serial.dw, g_parallel.dw) &&
+                    tensors_equal(g_serial.dx, g_parallel.dx) &&
+                    tensors_equal(g_serial.db, g_parallel.db));
+  print_section("evaluate_sign_task", eval_serial, eval_parallel,
+                eval_identical, /*last=*/true);
+  std::printf("}\n");
+  return 0;
+}

@@ -1,9 +1,24 @@
-// Minimal data-parallel loop helper.
+// Data-parallel loop helpers backed by a persistent worker pool.
 //
-// On a multi-core host, `parallel_for` splits [begin, end) across a small
-// pool of std::jthread workers; on a single-core host it degenerates to a
-// serial loop with no thread overhead. Bodies must not throw across the
-// parallel boundary — exceptions are captured and rethrown on the caller.
+// The pool is constructed once (first parallel call) and reused for the
+// lifetime of the process; `parallel_for` splits [begin, end) into
+// fixed-size chunks that workers claim dynamically. Worker count defaults
+// to the hardware concurrency, can be pinned with the ADVP_THREADS
+// environment variable, and can be overridden at runtime with
+// `set_max_workers` (tests use this to compare 1-thread vs N-thread runs).
+//
+// Determinism contract: chunking is a pure scheduling decision. Every loop
+// body in this library writes to locations disjoint per index, and any
+// cross-index accumulation is reduced by the caller in index order, so
+// results are bit-identical regardless of worker count.
+//
+// Nested parallelism degenerates to serial: a `parallel_for` issued from
+// inside a parallel region runs inline on the calling worker, so kernels
+// (matmul, conv2d) can parallelize opportunistically without
+// oversubscribing when an outer loop is already parallel.
+//
+// Exceptions thrown by a body are captured and the first one is rethrown
+// on the calling thread after the loop finishes.
 #pragma once
 
 #include <cstddef>
@@ -11,12 +26,46 @@
 
 namespace advp {
 
-/// Number of worker threads parallel_for will use (>= 1).
+/// Default worker count: ADVP_THREADS if set (>= 1), else the hardware
+/// concurrency (>= 1). Constant for the process lifetime.
 std::size_t hardware_workers();
+
+/// Current effective worker cap (>= 1): the runtime override if one is
+/// active, else hardware_workers().
+std::size_t max_workers();
+
+/// Overrides the worker cap at runtime (may exceed the hardware count —
+/// the determinism tests rely on that). Pass 0 to restore the default.
+/// Not safe to call concurrently with a running parallel_for.
+void set_max_workers(std::size_t n);
+
+/// True while executing inside a parallel_for body on any thread that is
+/// part of a multi-worker dispatch.
+bool in_parallel_region();
+
+/// RAII worker-cap override for tests and benches.
+struct ScopedMaxWorkers {
+  explicit ScopedMaxWorkers(std::size_t n) { set_max_workers(n); }
+  ~ScopedMaxWorkers() { set_max_workers(0); }
+  ScopedMaxWorkers(const ScopedMaxWorkers&) = delete;
+  ScopedMaxWorkers& operator=(const ScopedMaxWorkers&) = delete;
+};
 
 /// Runs body(i) for each i in [begin, end), possibly concurrently.
 /// The body must be safe to run concurrently for distinct i.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
+
+/// Same, but workers claim `grain` consecutive indices at a time —
+/// use for cheap bodies where per-index scheduling would dominate.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t)>& body);
+
+/// Runs body(slot, i) where `slot` identifies the executing participant
+/// (0 = calling thread) and is always < max(1, slots). Use the slot to
+/// index per-worker scratch state (e.g. model clones) without locking.
+void parallel_for_slotted(
+    std::size_t begin, std::size_t end, std::size_t slots,
+    const std::function<void(std::size_t, std::size_t)>& body);
 
 }  // namespace advp

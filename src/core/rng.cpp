@@ -19,6 +19,10 @@ Rng Rng::split() {
   return Rng(mix(seed_ ^ mix(split_count_)));
 }
 
+std::uint64_t Rng::stream_seed(std::uint64_t base, std::uint64_t index) {
+  return mix(base ^ mix(index + 0x517cc1b727220a95ULL));
+}
+
 double Rng::uniform(double lo, double hi) {
   std::uniform_real_distribution<double> d(lo, hi);
   return d(engine_);

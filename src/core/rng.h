@@ -42,6 +42,12 @@ class Rng {
   std::uint64_t seed() const { return seed_; }
   std::mt19937_64& engine() { return engine_; }
 
+  /// Seed for the `index`-th parallel stream of a base seed: deterministic,
+  /// order-independent, and decorrelated across indices (SplitMix64 mix).
+  /// Parallel loops give every item `Rng(Rng::stream_seed(base, i))` so
+  /// results do not depend on worker count or execution order.
+  static std::uint64_t stream_seed(std::uint64_t base, std::uint64_t index);
+
  private:
   std::mt19937_64 engine_;
   std::uint64_t seed_;

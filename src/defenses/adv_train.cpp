@@ -7,6 +7,8 @@
 #include "attacks/rp2.h"
 #include "attacks/simba.h"
 #include "core/check.h"
+#include "core/parallel.h"
+#include "models/zoo.h"
 #include "nn/optim.h"
 
 namespace advp::defenses {
@@ -145,17 +147,40 @@ Image attack_driving_frame(const data::DrivingFrame& frame, AttackKind kind,
   return frame.image;
 }
 
+namespace {
+
+// Clones for the parallel attack-generation loops below: white-box oracles
+// mutate the victim's gradient/activation caches, so each slot attacks its
+// own copy. Per-example RNG streams (Rng::stream_seed) make the generated
+// dataset independent of worker count and execution order.
+template <typename Model, typename CloneFn>
+std::vector<Model> attack_worker_clones(Model& victim, std::size_t items,
+                                        CloneFn clone) {
+  std::vector<Model> clones;
+  if (items < 2 || max_workers() <= 1 || in_parallel_region()) return clones;
+  const std::size_t slots = std::min(max_workers(), items);
+  clones.reserve(slots - 1);
+  for (std::size_t s = 1; s < slots; ++s) clones.push_back(clone(victim));
+  return clones;
+}
+
+}  // namespace
+
 data::SignDataset make_adversarial_sign_dataset(
     const data::SignDataset& clean, AttackKind kind, models::TinyYolo& victim,
     std::uint64_t seed, const SignAttackParams& params) {
-  Rng rng(seed);
+  const std::size_t n = clean.scenes.size();
   data::SignDataset out;
-  out.scenes.reserve(clean.size());
-  for (const auto& scene : clean.scenes) {
-    data::SignScene adv = scene;
-    adv.image = attack_sign_scene(scene, kind, victim, rng, params);
-    out.scenes.push_back(std::move(adv));
-  }
+  out.scenes.resize(n);
+  auto clones = attack_worker_clones(victim, n, models::clone_detector);
+  parallel_for_slotted(
+      0, n, clones.size() + 1, [&](std::size_t slot, std::size_t i) {
+        models::TinyYolo& v = slot == 0 ? victim : clones[slot - 1];
+        Rng rng(Rng::stream_seed(seed, i));
+        out.scenes[i] = clean.scenes[i];
+        out.scenes[i].image =
+            attack_sign_scene(clean.scenes[i], kind, v, rng, params);
+      });
   return out;
 }
 
@@ -163,14 +188,18 @@ data::DrivingDataset make_adversarial_driving_dataset(
     const data::DrivingDataset& clean, AttackKind kind,
     models::DistNet& victim, std::uint64_t seed,
     const DrivingAttackParams& params) {
-  Rng rng(seed);
+  const std::size_t n = clean.frames.size();
   data::DrivingDataset out;
-  out.frames.reserve(clean.size());
-  for (const auto& frame : clean.frames) {
-    data::DrivingFrame adv = frame;
-    adv.image = attack_driving_frame(frame, kind, victim, rng, params);
-    out.frames.push_back(std::move(adv));
-  }
+  out.frames.resize(n);
+  auto clones = attack_worker_clones(victim, n, models::clone_distnet);
+  parallel_for_slotted(
+      0, n, clones.size() + 1, [&](std::size_t slot, std::size_t i) {
+        models::DistNet& v = slot == 0 ? victim : clones[slot - 1];
+        Rng rng(Rng::stream_seed(seed, i));
+        out.frames[i] = clean.frames[i];
+        out.frames[i].image =
+            attack_driving_frame(clean.frames[i], kind, v, rng, params);
+      });
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "defenses/contrastive.h"
 
 #include "core/check.h"
+#include "core/parallel.h"
 #include "image/proc.h"
 #include "nn/layers.h"
 #include "nn/loss.h"
@@ -96,11 +97,19 @@ float contrastive_pretrain(models::TinyYolo& model,
       const std::size_t end =
           std::min(n, start + static_cast<std::size_t>(cfg.batch_pairs));
       // Build the 2N-view batch: rows 2i, 2i+1 are views of image i.
-      std::vector<Image> views;
-      for (std::size_t k = start; k < end; ++k) {
-        views.push_back(augment_view(images[order[k]], rng));
-        views.push_back(augment_view(images[order[k]], rng));
-      }
+      // Views are augmented in parallel, each pair on its own RNG stream
+      // derived from (epoch, batch, pair) so the batch is identical for
+      // any worker count.
+      const std::size_t pairs = end - start;
+      const std::uint64_t batch_base = Rng::stream_seed(
+          cfg.seed, static_cast<std::uint64_t>(epoch) * (n + 1) + start);
+      std::vector<Image> views(2 * pairs);
+      parallel_for(0, pairs, [&](std::size_t k) {
+        Rng vrng(Rng::stream_seed(batch_base, k));
+        const Image& img = images[order[start + k]];
+        views[2 * k] = augment_view(img, vrng);
+        views[2 * k + 1] = augment_view(img, vrng);
+      });
       if (views.size() < 4) break;  // InfoNCE needs >= 2 pairs
       Tensor batch = images_to_batch(views);
 

@@ -3,8 +3,27 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/parallel.h"
 
 namespace advp::eval {
+
+namespace {
+
+// Worker clones for the parallel inference phase: one per extra slot
+// (slot 0 runs the original model on the caller thread). Returns an empty
+// vector when the loop will run serially anyway.
+template <typename Model, typename CloneFn>
+std::vector<Model> make_worker_clones(Model& model, std::size_t items,
+                                      CloneFn clone) {
+  std::vector<Model> clones;
+  if (items < 2 || max_workers() <= 1 || in_parallel_region()) return clones;
+  const std::size_t slots = std::min(max_workers(), items);
+  clones.reserve(slots - 1);
+  for (std::size_t s = 1; s < slots; ++s) clones.push_back(clone(model));
+  return clones;
+}
+
+}  // namespace
 
 Harness::Harness(HarnessConfig config) : config_(std::move(config)) {}
 
@@ -94,35 +113,70 @@ DetectionMetrics Harness::evaluate_sign_task(models::TinyYolo& model,
                                              const data::SignDataset& test,
                                              const SceneAttack& attack,
                                              const ImageTransform& defense) {
-  std::vector<DetectionRecord> records;
-  records.reserve(test.size());
-  for (const auto& scene : test.scenes) {
-    Image img = attack ? attack(scene) : scene.image;
+  const std::size_t n = test.scenes.size();
+  // Phase 1, serial: white-box attacks mutate their victim's gradient
+  // state and defenses may carry RNG state, so transforms stay on the
+  // caller thread. Per-item randomness comes from the scene index.
+  std::vector<Image> processed;
+  processed.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& scene = test.scenes[i];
+    Image img = attack ? attack(scene, i) : scene.image;
     if (defense) img = defense(img);
-    DetectionRecord rec;
-    rec.ground_truth = scene.stop_signs;
-    rec.detections = model.detect(img.to_batch(), kApGatherConf)[0];
-    records.push_back(std::move(rec));
+    processed.push_back(std::move(img));
   }
+  // Phase 2, parallel: inference fans out over scenes; each slot runs its
+  // own model clone (forward passes cache activations per instance).
+  std::vector<DetectionRecord> records(n);
+  auto clones = make_worker_clones(model, n, models::clone_detector);
+  parallel_for_slotted(
+      0, n, clones.size() + 1, [&](std::size_t slot, std::size_t i) {
+        models::TinyYolo& m = slot == 0 ? model : clones[slot - 1];
+        records[i].ground_truth = test.scenes[i].stop_signs;
+        records[i].detections =
+            m.detect(processed[i].to_batch(), kApGatherConf)[0];
+      });
   return evaluate_detections(records, 0.5f, kPrConf);
 }
 
 Harness::DistanceEval Harness::evaluate_distance_task(
     models::DistNet& model, const SequenceAttackFactory& attack,
     const ImageTransform& defense) {
-  std::vector<float> dists, errors;
-  double abs_acc = 0.0;
+  // Phase 1, serial: build the attacked+defended frame list. CAP-style
+  // attacks are stateful across the frames of one sequence, so frames stay
+  // in sequence order; each sequence gets its own RNG stream via seq_index.
+  std::vector<const data::DrivingFrame*> frames;
+  std::vector<Image> processed;
+  std::size_t seq_index = 0;
   for (const auto& seq : eval_sequences()) {
-    FrameAttack frame_attack = attack ? attack() : FrameAttack();
+    FrameAttack frame_attack = attack ? attack(seq_index++) : FrameAttack();
     for (const auto& frame : seq) {
-      const float clean = model.predict(frame.image.to_batch())[0];
       Image img = frame_attack ? frame_attack(frame) : frame.image;
       if (defense) img = defense(img);
-      const float pred = model.predict(img.to_batch())[0];
-      dists.push_back(frame.distance);
-      errors.push_back(pred - clean);
-      abs_acc += std::fabs(pred - clean);
+      frames.push_back(&frame);
+      processed.push_back(std::move(img));
     }
+  }
+  // Phase 2, parallel: clean and attacked predictions per frame, with
+  // per-slot model clones. Errors are reduced in frame order afterwards,
+  // so the metrics are bit-identical for any worker count.
+  const std::size_t n = frames.size();
+  std::vector<float> clean(n, 0.f), pred(n, 0.f);
+  auto clones = make_worker_clones(model, n, models::clone_distnet);
+  parallel_for_slotted(
+      0, n, clones.size() + 1, [&](std::size_t slot, std::size_t i) {
+        models::DistNet& m = slot == 0 ? model : clones[slot - 1];
+        clean[i] = m.predict(frames[i]->image.to_batch())[0];
+        pred[i] = m.predict(processed[i].to_batch())[0];
+      });
+  std::vector<float> dists, errors;
+  dists.reserve(n);
+  errors.reserve(n);
+  double abs_acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dists.push_back(frames[i]->distance);
+    errors.push_back(pred[i] - clean[i]);
+    abs_acc += std::fabs(pred[i] - clean[i]);
   }
   DistanceEval ev;
   ev.bin_means =

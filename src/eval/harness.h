@@ -39,14 +39,19 @@ struct HarnessConfig {
 /// Image -> Image stage (attack output, defense, or both chained).
 using ImageTransform = std::function<Image(const Image&)>;
 /// Per-scene attack for the detection task (sees ground truth for the
-/// white-box loss).
-using SceneAttack = std::function<Image(const data::SignScene&)>;
+/// white-box loss). `scene_index` is the scene's position in the test set;
+/// stochastic attacks derive their RNG from it (Rng::stream_seed) so
+/// results are independent of evaluation order and worker count.
+using SceneAttack =
+    std::function<Image(const data::SignScene&, std::size_t scene_index)>;
 /// Per-frame attack for the regression task; invoked in sequence order so
 /// stateful attacks (CAP) can carry their patch across frames.
 using FrameAttack =
     std::function<Image(const data::DrivingFrame&)>;
 /// Factory producing a fresh FrameAttack per sequence (resets CAP state).
-using SequenceAttackFactory = std::function<FrameAttack()>;
+/// `seq_index` seeds the per-sequence RNG stream, as with SceneAttack.
+using SequenceAttackFactory =
+    std::function<FrameAttack(std::size_t seq_index)>;
 
 class Harness {
  public:
@@ -71,6 +76,11 @@ class Harness {
   /// (either may be null) and scores detection metrics. Detections are
   /// gathered at a low confidence for a faithful AP while precision/recall
   /// use the 0.5-confidence operating point.
+  ///
+  /// Attack and defense transforms run serially on the caller thread
+  /// (white-box attacks mutate their victim model; defenses may be
+  /// stateful); model inference then fans out over scenes with per-worker
+  /// model clones. Metrics are bit-identical for any worker count.
   DetectionMetrics evaluate_sign_task(models::TinyYolo& model,
                                       const data::SignDataset& test,
                                       const SceneAttack& attack,

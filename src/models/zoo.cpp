@@ -9,6 +9,30 @@
 
 namespace advp::models {
 
+void copy_params(const std::vector<nn::Param*>& src,
+                 const std::vector<nn::Param*>& dst) {
+  ADVP_CHECK_MSG(src.size() == dst.size(), "copy_params: layout mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ADVP_CHECK_MSG(src[i]->value.same_shape(dst[i]->value),
+                   "copy_params: shape mismatch at " << src[i]->name);
+    dst[i]->value = src[i]->value;
+  }
+}
+
+TinyYolo clone_detector(TinyYolo& src) {
+  Rng init_rng(0);  // weights are overwritten below
+  TinyYolo dst(src.config(), init_rng);
+  copy_params(src.params(), dst.params());
+  return dst;
+}
+
+DistNet clone_distnet(DistNet& src) {
+  Rng init_rng(0);
+  DistNet dst(src.config(), init_rng);
+  copy_params(src.params(), dst.params());
+  return dst;
+}
+
 float train_detector(TinyYolo& model, const data::SignDataset& train,
                      const TrainConfig& cfg) {
   ADVP_CHECK(!train.scenes.empty());

@@ -19,6 +19,18 @@ struct TrainConfig {
   bool verbose = false;
 };
 
+/// Copies parameter values (including BatchNorm running statistics, which
+/// ride along in collect_params) between two identically-built models.
+void copy_params(const std::vector<nn::Param*>& src,
+                 const std::vector<nn::Param*>& dst);
+
+/// Clone with identical weights and eval-mode behaviour. Model instances
+/// cache activations inside their layers during forward passes, so
+/// parallel evaluation loops give every worker its own clone instead of
+/// sharing one instance across threads.
+TinyYolo clone_detector(TinyYolo& src);
+DistNet clone_distnet(DistNet& src);
+
 /// Trains the detector on scene/box pairs; returns final epoch mean loss.
 float train_detector(TinyYolo& model, const data::SignDataset& train,
                      const TrainConfig& cfg);

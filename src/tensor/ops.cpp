@@ -2,10 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "core/check.h"
+#include "core/parallel.h"
 
 namespace advp {
+
+namespace {
+
+// Minimum multiply-accumulate count before matmul fans out: below this the
+// pool dispatch overhead beats the win of splitting a few cheap rows.
+constexpr std::size_t kMatmulParallelFlops = std::size_t{1} << 16;
+
+}  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   ADVP_CHECK_MSG(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 required");
@@ -15,16 +25,28 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* ap = a.data();
   const float* bp = b.data();
   float* cp = c.data();
-  // i-k-j loop order: streams through B and C rows, cache friendly.
-  for (int i = 0; i < m; ++i) {
-    const float* arow = ap + static_cast<std::size_t>(i) * k;
-    float* crow = cp + static_cast<std::size_t>(i) * n;
+  // i-k-j loop order: streams through B and C rows, cache friendly. Rows of
+  // C are independent, so the row loop parallelizes with bit-identical
+  // results (each row's accumulation order is unchanged).
+  auto row = [&](std::size_t i) {
+    const float* arow = ap + i * k;
+    float* crow = cp + i * n;
     for (int kk = 0; kk < k; ++kk) {
       const float av = arow[kk];
       if (av == 0.f) continue;
       const float* brow = bp + static_cast<std::size_t>(kk) * n;
       for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
+  };
+  const std::size_t flops = static_cast<std::size_t>(m) * k * n;
+  if (m >= 2 && flops >= kMatmulParallelFlops && max_workers() > 1 &&
+      !in_parallel_region()) {
+    const std::size_t grain =
+        std::max<std::size_t>(1, static_cast<std::size_t>(m) /
+                                     (4 * max_workers()));
+    parallel_for(0, static_cast<std::size_t>(m), grain, row);
+  } else {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(m); ++i) row(i);
   }
   return c;
 }
@@ -101,25 +123,31 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
   ADVP_CHECK_MSG(ho > 0 && wo > 0, "conv2d: output collapses to zero size");
 
   const int patch = c_in * spec.kernel * spec.kernel;
-  Tensor cols({patch, ho * wo});
   Tensor wmat = w.reshape({spec.out_channels, patch});
   Tensor y({n, spec.out_channels, ho, wo});
 
   const std::size_t x_stride = static_cast<std::size_t>(c_in) * h * wd;
   const std::size_t y_stride =
       static_cast<std::size_t>(spec.out_channels) * ho * wo;
-  for (int i = 0; i < n; ++i) {
-    im2col(x.data() + static_cast<std::size_t>(i) * x_stride, c_in, h, wd,
-           spec, cols.data());
+  // Batch items are independent (disjoint output planes, per-item column
+  // buffer), so the batch loop parallelizes with bit-identical results.
+  // For N == 1 the inner matmul parallelizes over output channels instead.
+  auto item = [&](std::size_t i) {
+    Tensor cols({patch, ho * wo});
+    im2col(x.data() + i * x_stride, c_in, h, wd, spec, cols.data());
     Tensor yi = matmul(wmat, cols);  // [Cout, Ho*Wo]
-    float* yp = y.data() + static_cast<std::size_t>(i) * y_stride;
+    float* yp = y.data() + i * y_stride;
     for (int oc = 0; oc < spec.out_channels; ++oc) {
       const float bias = b[static_cast<std::size_t>(oc)];
       const float* src = yi.data() + static_cast<std::size_t>(oc) * ho * wo;
       float* dst = yp + static_cast<std::size_t>(oc) * ho * wo;
       for (int j = 0; j < ho * wo; ++j) dst[j] = src[j] + bias;
     }
-  }
+  };
+  if (n > 1 && max_workers() > 1 && !in_parallel_region())
+    parallel_for(0, static_cast<std::size_t>(n), item);
+  else
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) item(i);
   return y;
 }
 
@@ -139,34 +167,46 @@ Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
 
   Tensor wmat = w.reshape({spec.out_channels, patch});
   Tensor wmat_t = transpose(wmat);  // [patch, Cout]
-  Tensor cols({patch, ho * wo});
   Tensor dwmat({spec.out_channels, patch});
 
   const std::size_t x_stride = static_cast<std::size_t>(c_in) * h * wd;
   const std::size_t y_stride =
       static_cast<std::size_t>(spec.out_channels) * ho * wo;
-  for (int i = 0; i < n; ++i) {
-    const float* dyp = dy.data() + static_cast<std::size_t>(i) * y_stride;
-    // db
+  // Per-item weight/bias partials computed in parallel (dx planes are
+  // disjoint), then reduced on the caller in index order — the same
+  // accumulation order as a plain serial loop, so gradients are
+  // bit-identical for any worker count.
+  std::vector<Tensor> dw_part(static_cast<std::size_t>(n));
+  std::vector<Tensor> db_part(static_cast<std::size_t>(n));
+  auto item = [&](std::size_t i) {
+    const float* dyp = dy.data() + i * y_stride;
+    Tensor dbi({spec.out_channels});
     for (int oc = 0; oc < spec.out_channels; ++oc) {
       const float* row = dyp + static_cast<std::size_t>(oc) * ho * wo;
       double s = 0.0;
       for (int j = 0; j < ho * wo; ++j) s += row[j];
-      g.db[static_cast<std::size_t>(oc)] += static_cast<float>(s);
+      dbi[static_cast<std::size_t>(oc)] = static_cast<float>(s);
     }
-    // dW += dY_i * cols_i^T
-    im2col(x.data() + static_cast<std::size_t>(i) * x_stride, c_in, h, wd,
-           spec, cols.data());
+    db_part[i] = std::move(dbi);
+    // dW_i = dY_i * cols_i^T
+    Tensor cols({patch, ho * wo});
+    im2col(x.data() + i * x_stride, c_in, h, wd, spec, cols.data());
     Tensor dyi = Tensor::from_vector(
         {spec.out_channels, ho * wo},
         std::vector<float>(dyp, dyp + y_stride));
     Tensor cols_t = transpose(cols);             // [Ho*Wo, patch]
-    Tensor dwi = matmul(dyi, cols_t);            // [Cout, patch]
-    dwmat += dwi;
+    dw_part[i] = matmul(dyi, cols_t);            // [Cout, patch]
     // dcols = W^T * dY_i, then scatter back to dx_i
     Tensor dcols = matmul(wmat_t, dyi);          // [patch, Ho*Wo]
-    col2im(dcols.data(), c_in, h, wd, spec,
-           g.dx.data() + static_cast<std::size_t>(i) * x_stride);
+    col2im(dcols.data(), c_in, h, wd, spec, g.dx.data() + i * x_stride);
+  };
+  if (n > 1 && max_workers() > 1 && !in_parallel_region())
+    parallel_for(0, static_cast<std::size_t>(n), item);
+  else
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) item(i);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+    dwmat += dw_part[i];
+    g.db += db_part[i];
   }
   g.dw = dwmat.reshape({spec.out_channels, c_in, spec.kernel, spec.kernel});
   return g;

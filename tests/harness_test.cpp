@@ -67,7 +67,7 @@ TEST(HarnessTest, ModelsAreCachedAcrossInstances) {
 TEST(HarnessTest, EvaluateSignTaskRunsTransforms) {
   Harness h(tiny_config("signtask"));
   int attack_calls = 0, defense_calls = 0;
-  SceneAttack attack = [&](const data::SignScene& s) {
+  SceneAttack attack = [&](const data::SignScene& s, std::size_t) {
     ++attack_calls;
     return s.image;
   };
@@ -97,7 +97,7 @@ TEST(HarnessTest, EvaluateDistanceTaskBinsAndIdentityIsZero) {
 TEST(HarnessTest, AttackFactoryFreshPerSequence) {
   Harness h(tiny_config("factory"));
   int factories = 0;
-  SequenceAttackFactory factory = [&]() -> FrameAttack {
+  SequenceAttackFactory factory = [&](std::size_t) -> FrameAttack {
     ++factories;
     return [](const data::DrivingFrame& f) { return f.image; };
   };

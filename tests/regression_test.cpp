@@ -101,6 +101,52 @@ TEST(RegressionTest, RandomizationPreservesGeometryAcrossDraws) {
   }
 }
 
+// Attack-numerics goldens: FGSM, Auto-PGD, and SimBA on a tiny fixed
+// corpus against a fixed-init detector. Attack generation is deterministic
+// by construction (per-example RNG streams, worker-count-independent
+// kernels), so any kernel or attack refactor that silently changes
+// numerics fails these comparisons loudly. Update the constants only for
+// an *intentional* numerics change, and say so in the commit.
+TEST(RegressionTest, AttackNumericGoldens) {
+  Rng mrng(42);
+  models::TinyYolo det(models::TinyYoloConfig{}, mrng);
+  auto corpus = data::make_sign_dataset(4, 777);
+
+  struct Golden {
+    defenses::AttackKind kind;
+    double l1;   ///< mean |attacked - clean| per pixel, over the corpus
+    double obj;  ///< mean GT-cell objectness score on attacked images
+  };
+  const Golden goldens[] = {
+      {defenses::AttackKind::kFgsm, 0.009943416, 0.264512002},
+      {defenses::AttackKind::kAutoPgd, 0.004068241, 0.278010495},
+      {defenses::AttackKind::kSimba, 0.008769173, 0.275999919},
+  };
+
+  for (std::size_t g = 0; g < std::size(goldens); ++g) {
+    auto adv = defenses::make_adversarial_sign_dataset(
+        corpus, goldens[g].kind, det, 9000 + g);
+    double l1 = 0.0, obj = 0.0;
+    std::size_t pixels = 0;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      const Tensor clean = corpus.scenes[i].image.to_batch();
+      const Tensor attacked = adv.scenes[i].image.to_batch();
+      for (std::size_t j = 0; j < clean.numel(); ++j)
+        l1 += std::fabs(attacked[j] - clean[j]);
+      pixels += clean.numel();
+      obj += det.objectness_score(attacked, {corpus.scenes[i].stop_signs});
+    }
+    l1 /= static_cast<double>(pixels);
+    obj /= static_cast<double>(corpus.size());
+    std::printf("[golden] %-8s l1=%.9f obj=%.9f\n",
+                defenses::attack_name(goldens[g].kind).c_str(), l1, obj);
+    EXPECT_NEAR(l1, goldens[g].l1, 5e-4 + 1e-3 * std::fabs(goldens[g].l1))
+        << defenses::attack_name(goldens[g].kind);
+    EXPECT_NEAR(obj, goldens[g].obj, 1e-3 + 1e-3 * std::fabs(goldens[g].obj))
+        << defenses::attack_name(goldens[g].kind);
+  }
+}
+
 // Umbrella header sanity: everything above compiled through advper.h.
 TEST(RegressionTest, UmbrellaHeaderExposesCoreTypes) {
   Rng rng(3);
