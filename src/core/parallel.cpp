@@ -28,7 +28,10 @@ std::size_t default_workers() {
                                      kMaxPoolThreads);
     }
     const unsigned hc = std::thread::hardware_concurrency();
-    return hc == 0 ? std::size_t{1} : static_cast<std::size_t>(hc);
+    // Clamp to the pool's thread capacity: participants beyond
+    // kMaxPoolThreads would wait on workers that are never created.
+    return hc == 0 ? std::size_t{1}
+                   : std::min<std::size_t>(hc, kMaxPoolThreads);
   }();
   return n;
 }
@@ -152,7 +155,10 @@ void dispatch(std::size_t begin, std::size_t end, std::size_t grain,
   if (begin >= end) return;
   if (grain == 0) grain = 1;
   const std::size_t chunks = (end - begin + grain - 1) / grain;
-  std::size_t workers = std::min({max_workers(), slots, chunks});
+  // kMaxPoolThreads bounds participants regardless of what callers pass for
+  // slots or what max_workers() returns — the pool cannot grow past it.
+  std::size_t workers =
+      std::min({max_workers(), slots, chunks, kMaxPoolThreads});
   if (workers <= 1 || tl_in_region) {
     for (std::size_t i = begin; i < end; ++i) body(0, i);
     return;

@@ -1,10 +1,13 @@
 #include "core/rng.h"
 
+#include <cmath>
+
 #include "core/check.h"
 
 namespace advp {
 
 namespace {
+
 // SplitMix64 finalizer: decorrelates derived seeds.
 std::uint64_t mix(std::uint64_t z) {
   z += 0x9e3779b97f4a7c15ULL;
@@ -12,6 +15,18 @@ std::uint64_t mix(std::uint64_t z) {
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
+
+// All samplers below are hand-rolled from raw mt19937_64 output instead of
+// std::*_distribution: the engine's bit sequence is exactly specified by the
+// standard, but the distributions' algorithms are implementation-defined, so
+// using them would make "same seed, same numbers" hold only within a single
+// standard library (goldens recorded under libstdc++ would fail under libc++).
+
+// 53-bit-mantissa uniform in [0, 1).
+double to_unit(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
 }  // namespace
 
 Rng Rng::split() {
@@ -24,30 +39,44 @@ std::uint64_t Rng::stream_seed(std::uint64_t base, std::uint64_t index) {
 }
 
 double Rng::uniform(double lo, double hi) {
-  std::uniform_real_distribution<double> d(lo, hi);
-  return d(engine_);
+  return lo + (hi - lo) * to_unit(engine_());
+}
+
+// Debiased modulo draw in [0, range): rejects the final partial bucket of
+// 2^64 so every value is exactly equiprobable.
+std::uint64_t Rng::bounded(std::uint64_t range) {
+  const std::uint64_t rem = (std::uint64_t{0} - range) % range;  // 2^64 % range
+  std::uint64_t x = engine_();
+  if (rem != 0) {
+    const std::uint64_t bound = std::uint64_t{0} - rem;  // largest multiple
+    while (x >= bound) x = engine_();
+  }
+  return x % range;
 }
 
 int Rng::uniform_int(int lo, int hi) {
   ADVP_CHECK(lo <= hi);
-  std::uniform_int_distribution<int> d(lo, hi);
-  return d(engine_);
+  const std::uint64_t range = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(hi) - static_cast<std::int64_t>(lo) + 1);
+  return static_cast<int>(lo + static_cast<std::int64_t>(bounded(range)));
 }
 
 double Rng::gaussian(double sigma) {
-  std::normal_distribution<double> d(0.0, sigma);
-  return d(engine_);
+  // Box–Muller; draws a fixed two engine values per call so the stream
+  // position never depends on rejection luck. u1 in (0, 1] keeps the log
+  // finite.
+  const double u1 =
+      static_cast<double>((engine_() >> 11) + 1) * 0x1.0p-53;
+  const double u2 = to_unit(engine_());
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return sigma * std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
 }
 
-bool Rng::coin(double p) {
-  std::bernoulli_distribution d(p);
-  return d(engine_);
-}
+bool Rng::coin(double p) { return to_unit(engine_()) < p; }
 
 std::size_t Rng::index(std::size_t n) {
   ADVP_CHECK(n > 0);
-  std::uniform_int_distribution<std::size_t> d(0, n - 1);
-  return d(engine_);
+  return static_cast<std::size_t>(bounded(n));
 }
 
 int Rng::sign() { return coin() ? 1 : -1; }

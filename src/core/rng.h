@@ -13,6 +13,9 @@
 namespace advp {
 
 /// Seeded PRNG wrapper around std::mt19937_64 with convenience samplers.
+/// Samplers are hand-rolled from raw engine bits (not std::*_distribution,
+/// whose sequences are implementation-defined), so a given seed produces the
+/// same draws on every platform and standard library.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5eedULL) : engine_(seed), seed_(seed) {}
@@ -49,6 +52,8 @@ class Rng {
   static std::uint64_t stream_seed(std::uint64_t base, std::uint64_t index);
 
  private:
+  std::uint64_t bounded(std::uint64_t range);
+
   std::mt19937_64 engine_;
   std::uint64_t seed_;
   std::uint64_t split_count_ = 0;

@@ -107,6 +107,34 @@ TEST(ParallelForTest, WorkerCapOverride) {
   EXPECT_EQ(max_workers(), hardware_workers());
 }
 
+// Regression: hosts with >64 logical cores derived a participant count
+// above the pool's 64-thread capacity and deadlocked waiting for workers
+// that were never created. Every worker-count source — the hardware
+// default, the override, and caller-requested slots — must clamp to the
+// pool capacity, and dispatched slot indices must stay below it.
+TEST(ParallelForTest, WorkerCountsClampToPoolCapacity) {
+  constexpr std::size_t kPoolCap = 64;  // kMaxPoolThreads in parallel.cpp
+  EXPECT_LE(hardware_workers(), kPoolCap);
+  set_max_workers(1 << 20);
+  EXPECT_LE(max_workers(), kPoolCap);
+  set_max_workers(0);
+
+  const std::size_t n = 300;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  std::atomic<std::size_t> worst_slot{0};
+  parallel_for_slotted(0, n, /*slots=*/1 << 20,
+                       [&](std::size_t slot, std::size_t i) {
+                         std::size_t seen = worst_slot.load();
+                         while (slot > seen &&
+                                !worst_slot.compare_exchange_weak(seen, slot)) {
+                         }
+                         hits[i].fetch_add(1);
+                       });
+  EXPECT_LT(worst_slot.load(), kPoolCap);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
 // ---- kernel determinism ---------------------------------------------------
 
 template <typename Fn>
