@@ -20,7 +20,9 @@ using Clock = std::chrono::steady_clock;
 
 int main() {
   std::printf("=== Ablations: future-work directions ===\n");
+  BenchRun run("ablation_future_work");
   eval::Harness harness;
+  run.manifest().set("seed", harness.config().seed);
   models::TinyYolo& det = harness.detector();
   models::DistNet& dist = harness.distnet();
   const auto cache_dir = harness.config().cache_dir;

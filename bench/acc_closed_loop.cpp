@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "attacks/cap.h"
+#include "bench_common.h"
 #include "eval/harness.h"
 #include "eval/table.h"
 #include "sim/acc_sim.h"
@@ -13,8 +14,10 @@
 int main() {
   using namespace advp;
   std::printf("=== Closed-loop ACC: CAP-Attack vs clean perception ===\n");
+  bench::BenchRun run("acc_closed_loop");
 
   eval::Harness harness;
+  run.manifest().set("seed", harness.config().seed);
   models::DistNet& model = harness.distnet();
   sim::AccSimulator simulator(model, data::DrivingSceneGenerator{});
 

@@ -8,11 +8,41 @@
 #include <vector>
 
 #include "attacks/cap.h"
+#include "core/obs.h"
 #include "defenses/adv_train.h"
 #include "eval/harness.h"
 #include "eval/table.h"
 
 namespace advp::bench {
+
+/// Per-binary observability wrapper. Construct one at the top of main():
+/// it turns tracing on (unless ADVP_TRACE=0 force-disabled it) and, on
+/// destruction, writes `<name>.manifest.json` — phase spans, kernel FLOP
+/// counters, cache statistics, and seed/thread/git metadata — resolved
+/// against the ADVP_TRACE path override. Echo run parameters into the
+/// manifest via `run.manifest().set("seed", ...)`.
+class BenchRun {
+ public:
+  explicit BenchRun(std::string name) : manifest_(std::move(name)) {
+    if (!obs::trace_disabled()) obs::enable();
+  }
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  ~BenchRun() {
+    if (!obs::enabled()) return;
+    const std::string out =
+        manifest_.write(manifest_.name() + ".manifest.json");
+    // stderr: some benches (micro_parallel) emit machine-readable stdout.
+    if (!out.empty()) std::fprintf(stderr, "[obs] manifest -> %s\n", out.c_str());
+  }
+
+  /// Config echo hook (`run.manifest().set(key, value)`).
+  obs::RunManifest& manifest() { return manifest_; }
+
+ private:
+  obs::RunManifest manifest_;
+};
 
 /// The attack rows of Table I / Table II / Table III.
 inline std::vector<defenses::AttackKind> core_attacks() {

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.h"
 #include "data/dataset.h"
 #include "eval/table.h"
 #include "image/image.h"
@@ -11,6 +12,8 @@
 int main() {
   using namespace advp;
   std::printf("=== Fig. 1: dataset examples ===\n");
+  bench::BenchRun run("fig1_datasets");
+  run.manifest().set("seed", std::uint64_t{7});
 
   data::SignSceneGenerator sign_gen;
   Rng rng(7);

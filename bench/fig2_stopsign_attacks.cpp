@@ -10,6 +10,8 @@ int main() {
   using namespace advp;
   using namespace advp::bench;
   std::printf("=== Fig. 2: stop-sign detection under attack ===\n");
+  BenchRun run("fig2_stopsign_attacks");
+  run.manifest().set("seed", std::uint64_t{600});
 
   eval::Harness harness;
   models::TinyYolo& model = harness.detector();

@@ -7,6 +7,8 @@
 //    DCT basis, and the two diffusion parameterizations.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "attacks/autopgd.h"
 #include "attacks/cap.h"
 #include "attacks/fgsm.h"
@@ -210,4 +212,14 @@ BENCHMARK(BM_Ddpm_TrainStep_X0Param)->Iterations(3)->Unit(benchmark::kMillisecon
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN(): the manifest is written after benchmark
+// shutdown so it captures the counters from every registered timing.
+int main(int argc, char** argv) {
+  advp::bench::BenchRun run("micro_overhead");
+  run.manifest().set("seed", std::uint64_t{1});
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

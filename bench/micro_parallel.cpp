@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "bench_common.h"
 #include "core/parallel.h"
 #include "eval/harness.h"
 #include "tensor/ops.h"
@@ -55,7 +56,9 @@ bool tensors_equal(const Tensor& a, const Tensor& b) {
 }  // namespace
 
 int main() {
+  bench::BenchRun run("micro_parallel");
   const std::size_t workers = hardware_workers();
+  run.manifest().set("workers", static_cast<std::uint64_t>(workers));
 
   // ---- conv2d forward + backward ----------------------------------------
   Rng rng(1);
@@ -92,6 +95,7 @@ int main() {
                    "advp_micro_parallel_cache")
                       .string();
   cfg.cache_tag = "micro_parallel";
+  run.manifest().set("seed", cfg.seed);
   eval::Harness harness(cfg);
   models::TinyYolo& det = harness.detector();
 

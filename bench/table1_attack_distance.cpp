@@ -14,6 +14,8 @@ int main() {
   using namespace advp;
   using namespace advp::bench;
   std::printf("=== Table I: avg. distance error (m) under attack ===\n");
+  BenchRun run("table1_attack_distance");
+  run.manifest().set("seed", std::uint64_t{500});
 
   eval::Harness harness;
   models::DistNet& model = harness.distnet();

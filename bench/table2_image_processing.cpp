@@ -14,6 +14,8 @@ int main() {
   using namespace advp;
   using namespace advp::bench;
   std::printf("=== Table II: performance after image processing ===\n");
+  BenchRun run("table2_image_processing");
+  run.manifest().set("seed", std::uint64_t{700});
 
   eval::Harness harness;
   models::DistNet& dist = harness.distnet();

@@ -26,6 +26,8 @@ constexpr int kAdvDriveTrain = 160;  // paper: 9600 video frames
 
 int main() {
   std::printf("=== Table III: performance after adversarial training ===\n");
+  BenchRun run("table3_adv_training");
+  run.manifest().set("seed", std::uint64_t{8100});
   eval::Harness harness;
   models::TinyYolo& base_det = harness.detector();
   models::DistNet& base_dist = harness.distnet();

@@ -15,6 +15,8 @@ using namespace advp::bench;
 
 int main() {
   std::printf("=== Table IV: performance after contrastive learning ===\n");
+  BenchRun run("table4_contrastive");
+  run.manifest().set("seed", std::uint64_t{8100});
   eval::Harness harness;
   models::TinyYolo& base_det = harness.detector();
   const auto cache_dir = harness.config().cache_dir;

@@ -15,6 +15,8 @@ using namespace advp::bench;
 
 int main() {
   std::printf("=== Table V: performance after diffusion model cleaning ===\n");
+  BenchRun run("table5_diffusion");
+  run.manifest().set("seed", std::uint64_t{7700});
   eval::Harness harness;
   models::TinyYolo& det = harness.detector();
   models::DistNet& dist = harness.distnet();

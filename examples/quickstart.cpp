@@ -8,9 +8,13 @@
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
+//
+// Run with ADVP_TRACE=1 to also get a quickstart.manifest.json breaking
+// down where the time and FLOPs went (docs/observability.md).
 #include <cstdio>
 
 #include "attacks/fgsm.h"
+#include "core/obs.h"
 #include "data/dataset.h"
 #include "defenses/preprocess.h"
 #include "models/zoo.h"
@@ -62,5 +66,15 @@ int main() {
               attacked_pred - clean_pred);
   std::printf("after median blur : %6.2f m  (error %+.2f)\n", defended_pred,
               defended_pred - clean_pred);
+
+  // Optional: with ADVP_TRACE=1 in the environment, tracing was on the
+  // whole time — dump the span/counter record of this run.
+  if (obs::enabled()) {
+    obs::RunManifest manifest("quickstart");
+    manifest.set("seed", std::uint64_t{1});
+    manifest.set("epochs", std::uint64_t{15});
+    const std::string path = manifest.write("quickstart.manifest.json");
+    if (!path.empty()) std::printf("\nrun manifest -> %s\n", path.c_str());
+  }
   return 0;
 }

@@ -20,28 +20,39 @@
 
 namespace advp::attacks {
 
+/// One white-box oracle evaluation: the loss value and its input gradient.
 struct LossGrad {
-  float loss = 0.f;
-  Tensor grad;
+  float loss = 0.f;  ///< J(x), the objective the attack ascends
+  Tensor grad;       ///< dJ/dx, same shape as x
 };
 
-/// White-box oracle: loss to ascend + gradient w.r.t. x.
+/// @brief White-box oracle: loss to ascend + gradient w.r.t. x.
 using GradOracle = std::function<LossGrad(const Tensor& x)>;
-/// Black-box oracle: scalar score to descend (no gradients).
+/// @brief Black-box oracle: scalar score to descend (no gradients).
 using ScoreOracle = std::function<float(const Tensor& x)>;
 
-/// {0,1} mask tensor of shape [1,3,h,w] covering `roi` (clipped to bounds).
+/// @brief Builds a {0,1} mask tensor of shape [1,3,h,w] covering `roi`.
+/// @param h Image height in pixels.
+/// @param w Image width in pixels.
+/// @param roi Region to unmask; clipped to the image bounds.
+/// @return Mask with 1 inside `roi`, 0 elsewhere.
 Tensor make_box_mask(int h, int w, const Box& roi);
 
-/// Zeroes masked-out entries of `t` in place (no-op for an empty mask).
+/// @brief Zeroes masked-out entries of `t` in place.
+/// @param mask {0,1} mask of the same shape; an empty mask is a no-op.
 void apply_mask(Tensor& t, const Tensor& mask);
 
-/// Projects x onto the L-inf ball of radius eps around x0, intersected
-/// with [0,1]; outside the mask x is reset to x0 exactly.
+/// @brief Projects x onto the L-inf ball of radius eps around x0,
+/// intersected with [0,1].
+/// @param x Perturbed input, modified in place.
+/// @param x0 Clean anchor point.
+/// @param eps Ball radius.
+/// @param mask Perturbation support; outside it x is reset to x0 exactly.
 void project_linf(Tensor& x, const Tensor& x0, float eps, const Tensor& mask);
 
-/// Projects x onto the L2 ball of radius eps around x0 (then [0,1]);
-/// outside the mask x is reset to x0 exactly.
+/// @brief Projects x onto the L2 ball of radius eps around x0 (then
+/// clamps to [0,1]).
+/// @param mask Perturbation support; outside it x is reset to x0 exactly.
 void project_l2(Tensor& x, const Tensor& x0, float eps, const Tensor& mask);
 
 }  // namespace advp::attacks

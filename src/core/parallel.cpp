@@ -1,5 +1,7 @@
 #include "core/parallel.h"
 
+#include "core/obs.h"
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -163,6 +165,12 @@ void dispatch(std::size_t begin, std::size_t end, std::size_t grain,
     for (std::size_t i = begin; i < end; ++i) body(0, i);
     return;
   }
+  // Tracing is pure bookkeeping: the span/counters never change chunking
+  // or scheduling, so results stay bit-identical with tracing on or off.
+  ADVP_OBS_SPAN("parallel_for");
+  ADVP_OBS_COUNT(kParallelDispatches, 1);
+  ADVP_OBS_COUNT(kParallelChunks, chunks);
+  ADVP_OBS_COUNT(kParallelWorkers, workers);
   Pool::instance().run(begin, end, grain, workers, body);
 }
 

@@ -26,24 +26,27 @@
 
 namespace advp {
 
-/// Default worker count: ADVP_THREADS if set (>= 1), else the hardware
-/// concurrency (>= 1). Constant for the process lifetime.
+/// @brief Default worker count: ADVP_THREADS if set (>= 1), else the
+/// hardware concurrency (>= 1). Constant for the process lifetime.
 std::size_t hardware_workers();
 
-/// Current effective worker cap (>= 1): the runtime override if one is
-/// active, else hardware_workers().
+/// @brief Current effective worker cap (>= 1): the runtime override if one
+/// is active, else hardware_workers().
 std::size_t max_workers();
 
-/// Overrides the worker cap at runtime (may exceed the hardware count —
-/// the determinism tests rely on that). Pass 0 to restore the default.
-/// Not safe to call concurrently with a running parallel_for.
+/// @brief Overrides the worker cap at runtime.
+/// @param n New cap; may exceed the hardware count (the determinism tests
+///   rely on that) but is clamped to the pool's thread capacity. Pass 0 to
+///   restore the default.
+/// @note Not safe to call concurrently with a running parallel_for.
 void set_max_workers(std::size_t n);
 
-/// True while executing inside a parallel_for body on any thread that is
-/// part of a multi-worker dispatch.
+/// @brief True while executing inside a parallel_for body on any thread
+/// that is part of a multi-worker dispatch.
 bool in_parallel_region();
 
-/// RAII worker-cap override for tests and benches.
+/// @brief RAII worker-cap override for tests and benches: applies
+/// set_max_workers(n) now, restores the default on scope exit.
 struct ScopedMaxWorkers {
   explicit ScopedMaxWorkers(std::size_t n) { set_max_workers(n); }
   ~ScopedMaxWorkers() { set_max_workers(0); }
@@ -51,19 +54,28 @@ struct ScopedMaxWorkers {
   ScopedMaxWorkers& operator=(const ScopedMaxWorkers&) = delete;
 };
 
-/// Runs body(i) for each i in [begin, end), possibly concurrently.
-/// The body must be safe to run concurrently for distinct i.
+/// @brief Runs body(i) for each i in [begin, end), possibly concurrently.
+/// @param begin First index (inclusive); an empty range is a no-op.
+/// @param end Last index (exclusive).
+/// @param body Loop body; must be safe to run concurrently for distinct i.
+/// @throws Rethrows the first exception a body threw, on the calling
+///   thread, after the loop drains.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 
-/// Same, but workers claim `grain` consecutive indices at a time —
-/// use for cheap bodies where per-index scheduling would dominate.
+/// @brief Same, but workers claim `grain` consecutive indices at a time.
+/// @param grain Chunk size; use for cheap bodies where per-index
+///   scheduling would dominate (0 is treated as 1).
+/// @throws Rethrows the first exception a body threw.
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                   const std::function<void(std::size_t)>& body);
 
-/// Runs body(slot, i) where `slot` identifies the executing participant
-/// (0 = calling thread) and is always < max(1, slots). Use the slot to
-/// index per-worker scratch state (e.g. model clones) without locking.
+/// @brief Runs body(slot, i) where `slot` identifies the executing
+/// participant and is always < max(1, slots).
+/// @param slots Upper bound on concurrent participants; slot 0 is the
+///   calling thread. Use the slot to index per-worker scratch state
+///   (e.g. model clones) without locking.
+/// @throws Rethrows the first exception a body threw.
 void parallel_for_slotted(
     std::size_t begin, std::size_t end, std::size_t slots,
     const std::function<void(std::size_t, std::size_t)>& body);

@@ -7,6 +7,7 @@
 #include "attacks/rp2.h"
 #include "attacks/simba.h"
 #include "core/check.h"
+#include "core/obs.h"
 #include "core/parallel.h"
 #include "models/zoo.h"
 #include "nn/optim.h"
@@ -30,6 +31,7 @@ namespace {
 attacks::GradOracle detection_oracle(models::TinyYolo& victim,
                                      const std::vector<Box>& gt) {
   return [&victim, gt](const Tensor& x) {
+    ADVP_OBS_COUNT(kAttackIterations, 1);
     victim.zero_grad();
     auto r = victim.loss_backward(x, {gt}, /*train=*/false);
     return attacks::LossGrad{r.loss, std::move(r.grad)};
@@ -40,6 +42,7 @@ attacks::GradOracle detection_oracle(models::TinyYolo& victim,
 /// the unsafe direction — the follower believes the lead is farther).
 attacks::GradOracle distance_oracle(models::DistNet& victim) {
   return [&victim](const Tensor& x) {
+    ADVP_OBS_COUNT(kAttackIterations, 1);
     victim.zero_grad();
     auto r = victim.prediction_grad(x);
     return attacks::LossGrad{r.loss, std::move(r.grad)};
@@ -170,6 +173,8 @@ data::SignDataset make_adversarial_sign_dataset(
     const data::SignDataset& clean, AttackKind kind, models::TinyYolo& victim,
     std::uint64_t seed, const SignAttackParams& params) {
   const std::size_t n = clean.scenes.size();
+  ADVP_OBS_SPAN("make_adversarial_sign_dataset");
+  ADVP_OBS_COUNT(kImagesProcessed, n);
   data::SignDataset out;
   out.scenes.resize(n);
   auto clones = attack_worker_clones(victim, n, models::clone_detector);
@@ -189,6 +194,8 @@ data::DrivingDataset make_adversarial_driving_dataset(
     models::DistNet& victim, std::uint64_t seed,
     const DrivingAttackParams& params) {
   const std::size_t n = clean.frames.size();
+  ADVP_OBS_SPAN("make_adversarial_driving_dataset");
+  ADVP_OBS_COUNT(kImagesProcessed, n);
   data::DrivingDataset out;
   out.frames.resize(n);
   auto clones = attack_worker_clones(victim, n, models::clone_distnet);
@@ -273,10 +280,13 @@ void distance_weighted_adv_train_distnet(models::DistNet& model,
                         clean->frames.end());
   ADVP_CHECK(!mixed.frames.empty());
 
+  ADVP_OBS_SPAN("distance_weighted_adv_train");
   Rng rng(cfg.seed);
   nn::Adam opt(model.params(), cfg.lr);
   const std::size_t n = mixed.frames.size();
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    ADVP_OBS_SPAN("epoch");
+    ADVP_OBS_COUNT(kTrainEpochs, 1);
     auto order = rng.permutation(n);
     for (std::size_t start = 0; start < n;
          start += static_cast<std::size_t>(cfg.batch_size)) {

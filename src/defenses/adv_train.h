@@ -15,8 +15,11 @@
 
 namespace advp::defenses {
 
+/// The paper's attack rows. kCapRp2 means RP2 on the sign task and
+/// CAP-Attack on the driving task (the paper pairs them the same way).
 enum class AttackKind { kGaussian, kFgsm, kAutoPgd, kCapRp2, kSimba };
 
+/// @brief Display name as it appears in the paper's table rows.
 std::string attack_name(AttackKind kind);
 
 /// Per-task attack strengths (paper-order magnitudes; tuned so the clean
@@ -41,23 +44,31 @@ struct DrivingAttackParams {
   int cap_warm_steps = 3;  ///< CAP steps when attacking an isolated frame
 };
 
-/// Attacks one sign scene with `kind` against `victim` (white-box attacks
-/// differentiate the detection loss; SimBA queries the objectness score;
-/// RP2 is confined to the union of sign boxes). Returns the attacked image.
+/// @brief Attacks one sign scene with `kind` against `victim`.
+/// @param scene Scene to attack (ground-truth boxes feed the white-box
+///   loss; SimBA queries the objectness score; RP2 is confined to the
+///   union of sign boxes).
+/// @param victim Model whose gradients/scores the attack consumes; its
+///   gradient state is mutated during the attack.
+/// @param rng Attack-local randomness; pass a per-scene stream
+///   (Rng::stream_seed) for order-independent results.
+/// @return The attacked image.
 Image attack_sign_scene(const data::SignScene& scene, AttackKind kind,
                         models::TinyYolo& victim, Rng& rng,
                         const SignAttackParams& params = {});
 
-/// Attacks one driving frame; all perturbations are confined to the
-/// lead-vehicle box and push the predicted distance up (the unsafe
-/// direction). kCapRp2 maps to CAP-Attack warmed on the single frame;
-/// use attacks::CapAttack directly for temporally-coherent sequences.
+/// @brief Attacks one driving frame; all perturbations are confined to
+/// the lead-vehicle box and push the predicted distance up (the unsafe
+/// direction).
+/// @note kCapRp2 maps to CAP-Attack warmed on the single frame; use
+///   attacks::CapAttack directly for temporally-coherent sequences.
 Image attack_driving_frame(const data::DrivingFrame& frame, AttackKind kind,
                            models::DistNet& victim, Rng& rng,
                            const DrivingAttackParams& params = {});
 
-/// Whole-dataset attacked copies (labels preserved) — the paper's
-/// per-attack adversarial example sets.
+/// @brief Whole-dataset attacked copy (labels preserved) — the paper's
+/// per-attack adversarial example sets. Scenes are attacked in parallel,
+/// each on its own RNG stream derived from `seed`.
 data::SignDataset make_adversarial_sign_dataset(
     const data::SignDataset& clean, AttackKind kind, models::TinyYolo& victim,
     std::uint64_t seed, const SignAttackParams& params = {});
@@ -67,8 +78,8 @@ data::DrivingDataset make_adversarial_driving_dataset(
     models::DistNet& victim, std::uint64_t seed,
     const DrivingAttackParams& params = {});
 
-/// The paper's mixed set: 25% of each per-attack adversarial set,
-/// uniformly sampled without replacement.
+/// @brief The paper's mixed set: `fraction` of each per-attack adversarial
+/// set, uniformly sampled without replacement (Table III uses 25%).
 data::SignDataset make_mixed_sign_dataset(
     const std::vector<data::SignDataset>& per_attack, double fraction,
     std::uint64_t seed);
@@ -76,11 +87,14 @@ data::DrivingDataset make_mixed_driving_dataset(
     const std::vector<data::DrivingDataset>& per_attack, double fraction,
     std::uint64_t seed);
 
-/// Eq. (8): fine-tunes the model on adversarial examples (the inner max is
-/// the pre-generated attack set; the outer min is this SGD pass). When
-/// `clean` is non-null its examples are concatenated with the adversarial
-/// set — mixing clean data in stabilizes the fine-tune (adversarial-only
-/// training drifts the clean predictions the error metric is anchored to).
+/// @brief Eq. (8): fine-tunes the model on adversarial examples (the
+/// inner max is the pre-generated attack set; the outer min is this SGD
+/// pass).
+/// @param clean When non-null, concatenated with the adversarial set —
+///   mixing clean data in stabilizes the fine-tune (adversarial-only
+///   training drifts the clean predictions the error metric is anchored
+///   to).
+/// @throws CheckError when the combined training set is empty.
 void adversarial_train_detector(models::TinyYolo& model,
                                 const data::SignDataset& adv_train,
                                 const models::TrainConfig& cfg,
@@ -90,11 +104,14 @@ void adversarial_train_distnet(models::DistNet& model,
                                const models::TrainConfig& cfg,
                                const data::DrivingDataset* clean = nullptr);
 
-/// Distance-aware adversarial training (the paper's §V-C2 future-work
-/// proposal): per-frame loss weights grow linearly from 1 at distance 0
-/// to `far_weight` at `max_distance`, counteracting the far-range
-/// over-defense bias that plain mixed adversarial training exhibits
-/// (Table III's -43 m cell). Ablated in bench/ablation_future_work.
+/// @brief Distance-aware adversarial training (the paper's §V-C2
+/// future-work proposal).
+/// @param far_weight Per-frame loss weights grow linearly from 1 at
+///   distance 0 to this value at `max_distance`, counteracting the
+///   far-range over-defense bias that plain mixed adversarial training
+///   exhibits (Table III's -43 m cell).
+/// @param max_distance Distance (m) at which the weight reaches
+///   `far_weight`. Ablated in bench/ablation_future_work.
 void distance_weighted_adv_train_distnet(models::DistNet& model,
                                          const data::DrivingDataset& adv_train,
                                          const models::TrainConfig& cfg,

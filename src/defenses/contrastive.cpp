@@ -1,6 +1,7 @@
 #include "defenses/contrastive.h"
 
 #include "core/check.h"
+#include "core/obs.h"
 #include "core/parallel.h"
 #include "image/proc.h"
 #include "nn/layers.h"
@@ -78,6 +79,7 @@ float contrastive_pretrain(models::TinyYolo& model,
                            const std::vector<Image>& images,
                            const ContrastiveConfig& cfg) {
   ADVP_CHECK_MSG(images.size() >= 2, "contrastive_pretrain: need >= 2 images");
+  ADVP_OBS_SPAN("contrastive_pretrain");
   Rng rng(cfg.seed);
   const int feat_dim = model.config().c3;
   ProjectionHead head(feat_dim, cfg, rng);
@@ -89,6 +91,8 @@ float contrastive_pretrain(models::TinyYolo& model,
   float last_epoch = 0.f;
   const std::size_t n = images.size();
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    ADVP_OBS_SPAN("epoch");
+    ADVP_OBS_COUNT(kTrainEpochs, 1);
     auto order = rng.permutation(n);
     double epoch_loss = 0.0;
     int batches = 0;

@@ -28,18 +28,22 @@ struct ContrastiveConfig {
   bool verbose = false;
 };
 
-/// A stochastic augmentation pipeline (resize/pad jitter, lighting,
-/// sensor noise, horizontal flip) producing positive pairs.
+/// @brief One stochastic augmentation draw (resize/pad jitter, lighting,
+/// sensor noise, horizontal flip) — call twice with the same RNG stream
+/// to produce a positive pair.
 Image augment_view(const Image& img, Rng& rng);
 
-/// Pretrains `model`'s backbone in place on unlabeled scene images;
-/// returns the final epoch's mean InfoNCE loss.
+/// @brief Pretrains `model`'s backbone in place on unlabeled scene images
+/// with the multi-positive margin InfoNCE objective (eq. (10)).
+/// @param images Unlabeled training images; pairs are augmented views.
+/// @return The final epoch's mean InfoNCE loss.
+/// @throws CheckError when fewer than 2 images are supplied.
 float contrastive_pretrain(models::TinyYolo& model,
                            const std::vector<Image>& images,
                            const ContrastiveConfig& cfg);
 
-/// Full recipe used by Table IV: contrastive pretrain on the train scenes,
-/// then supervised detection fine-tuning.
+/// @brief Full recipe used by Table IV: contrastive pretrain on the train
+/// scenes, then supervised detection fine-tuning.
 void contrastive_train_detector(models::TinyYolo& model,
                                 const data::SignDataset& train,
                                 const ContrastiveConfig& ccfg,

@@ -37,28 +37,41 @@ struct DiffPirParams {
   float zeta = 0.3f;    ///< stochasticity of the resampling step
 };
 
-/// Epsilon-prediction U-Net + the full train / restore machinery for one
-/// image geometry (height x width; both divisible by 2).
+/// @brief Epsilon-prediction U-Net + the full train / restore machinery
+/// for one image geometry.
 class DiffusionDenoiser {
  public:
+  /// @param height Image height in pixels; must be divisible by 2.
+  /// @param width Image width in pixels; must be divisible by 2.
+  /// @param config Diffusion schedule + parameterization.
+  /// @param rng Weight-initialization randomness.
+  /// @throws CheckError on an odd height/width.
   DiffusionDenoiser(int height, int width, DdpmConfig config, Rng& rng);
 
-  /// DDPM training on clean images; returns final epoch mean MSE.
+  /// @brief DDPM training on clean images (the defense never sees an
+  /// attack).
+  /// @return Final epoch mean MSE.
   float train(const std::vector<Image>& images, int epochs, int batch_size,
               float lr, Rng& rng);
 
-  /// Predicted noise for a batch at timestep t (derived from the x0 head
-  /// when predict_x0 is set).
+  /// @brief Predicted noise for a batch at timestep t (derived from the
+  /// x0 head when predict_x0 is set).
   Tensor predict_eps(const Tensor& x_t, int t, bool train = false);
-  /// Predicted clean image for a batch at timestep t (derived from the
-  /// eps head when predict_x0 is unset). Clamped to [0,1].
+  /// @brief Predicted clean image for a batch at timestep t (derived from
+  /// the eps head when predict_x0 is unset). Clamped to [0,1].
   Tensor predict_x0(const Tensor& x_t, int t, bool train = false);
 
-  /// DiffPIR restoration of a (possibly attacked) observation.
+  /// @brief DiffPIR restoration (eq. (9)) of a (possibly attacked)
+  /// observation: alternates the learned denoising step with a proximal
+  /// data-consistency step toward `y`.
+  /// @param y Observation to restore; must match the trained geometry.
+  /// @param params Restoration schedule (start level, steps, trade-off).
+  /// @param rng Stochasticity of the resampling step.
+  /// @return The restored image.
   Image restore(const Image& y, const DiffPirParams& params, Rng& rng);
 
-  /// Unconditional ancestral sample — sanity check that the prior learned
-  /// the domain (used by tests/examples, not the defense itself).
+  /// @brief Unconditional ancestral sample — sanity check that the prior
+  /// learned the domain (used by tests/examples, not the defense itself).
   Image sample(Rng& rng);
 
   std::vector<nn::Param*> params();
@@ -66,7 +79,7 @@ class DiffusionDenoiser {
   int width() const { return w_; }
   const DdpmConfig& config() const { return config_; }
 
-  /// alpha_bar_t = prod_{s<=t} (1 - beta_s); t in [0, timesteps).
+  /// @brief alpha_bar_t = prod_{s<=t} (1 - beta_s); t in [0, timesteps).
   float alpha_bar(int t) const;
 
  private:

@@ -21,7 +21,7 @@
 
 namespace advp::defenses {
 
-/// Applies child defenses left to right.
+/// @brief Applies child defenses left to right.
 class CascadeDefense : public InputDefense {
  public:
   explicit CascadeDefense(std::vector<std::unique_ptr<InputDefense>> stages,
@@ -36,7 +36,8 @@ class CascadeDefense : public InputDefense {
   std::string name_;
 };
 
-/// Pixelwise mean of each child defense's output (simple fusion).
+/// @brief Pixelwise mean of each child defense's output (simple fusion).
+/// @throws CheckError from apply() if a member changes the image geometry.
 class BlendDefense : public InputDefense {
  public:
   explicit BlendDefense(std::vector<std::unique_ptr<InputDefense>> members,
@@ -50,12 +51,12 @@ class BlendDefense : public InputDefense {
   std::string name_;
 };
 
-/// The paper's suggested combination: median blur then bit-depth
+/// @brief The paper's suggested combination: median blur then bit-depth
 /// reduction (smooth structured noise, then kill residual low-amplitude
 /// perturbations).
 std::unique_ptr<InputDefense> make_blur_then_bitdepth();
 
-/// Feature-squeezing adversarial-input detector.
+/// @brief Feature-squeezing adversarial-input detector.
 ///
 /// `Probe` maps an image to a scalar model output (e.g. the predicted
 /// lead distance, or summed objectness). The detector squeezes the input
@@ -71,16 +72,21 @@ class SqueezeDetector {
     std::size_t worst_squeezer = 0;
   };
 
+  /// @param squeezers Mild input transforms to compare against.
+  /// @param threshold Output-shift level above which an input is flagged.
   SqueezeDetector(std::vector<std::unique_ptr<InputDefense>> squeezers,
                   float threshold);
 
+  /// @brief Scores one image: probes it raw and under every squeezer.
+  /// @return Flag, the largest shift seen, and which squeezer saw it.
   Result inspect(const Image& img, const Probe& probe) const;
 
   float threshold() const { return threshold_; }
   void set_threshold(float t) { threshold_ = t; }
 
-  /// Calibrates the threshold as the `quantile` of max-shifts over a
-  /// clean corpus (so the false-positive rate is ~1 - quantile).
+  /// @brief Calibrates the threshold as the `quantile` of max-shifts over
+  /// a clean corpus (so the false-positive rate is ~1 - quantile).
+  /// @return The new threshold (also installed on the detector).
   float calibrate(const std::vector<Image>& clean_corpus, const Probe& probe,
                   double quantile = 0.95);
 
@@ -89,7 +95,7 @@ class SqueezeDetector {
   float threshold_;
 };
 
-/// Standard squeezer pair from Xu et al.: 3x3 median + 3-bit depth.
+/// @brief Standard squeezer pair from Xu et al.: 3x3 median + 3-bit depth.
 std::vector<std::unique_ptr<InputDefense>> standard_squeezers();
 
 }  // namespace advp::defenses

@@ -15,11 +15,15 @@
 
 namespace advp::defenses {
 
-/// Interface for input-preprocessing defenses.
+/// @brief Interface for input-preprocessing defenses.
 class InputDefense {
  public:
   virtual ~InputDefense() = default;
+  /// @brief Cleans a (possibly attacked) image before inference.
+  /// @param img Input in [0,1]; never modified.
+  /// @return The defended image, same dimensions unless noted otherwise.
   virtual Image apply(const Image& img) const = 0;
+  /// @brief Display name as it appears in the paper's table rows.
   virtual std::string name() const = 0;
 };
 
@@ -29,8 +33,10 @@ class IdentityDefense : public InputDefense {
   std::string name() const override { return "None"; }
 };
 
+/// @brief Median blurring (feature squeezing, Xu et al.).
 class MedianBlurDefense : public InputDefense {
  public:
+  /// @param kernel Odd window size; 3 is the paper's Table II setting.
   explicit MedianBlurDefense(int kernel = 3) : kernel_(kernel) {}
   Image apply(const Image& img) const override {
     return median_blur(img, kernel_);
@@ -41,8 +47,10 @@ class MedianBlurDefense : public InputDefense {
   int kernel_;
 };
 
+/// @brief Bit-depth reduction (feature squeezing, Xu et al.).
 class BitDepthDefense : public InputDefense {
  public:
+  /// @param bits Bits per channel kept; 3 is the paper's Table II setting.
   explicit BitDepthDefense(int bits = 3) : bits_(bits) {}
   Image apply(const Image& img) const override {
     return bit_depth_reduce(img, bits_);
@@ -53,10 +61,15 @@ class BitDepthDefense : public InputDefense {
   int bits_;
 };
 
+/// @brief Randomization defense (random resize + pad + noise, Xie et al.).
 /// Stochastic: each apply() call draws a fresh transform, which is the
-/// mechanism (gradient obfuscation via randomness) of Xie et al.'s defense.
+/// mechanism (gradient obfuscation via randomness) of the defense.
 class RandomizationDefense : public InputDefense {
  public:
+  /// @param scale_lo Lower bound of the random resize factor.
+  /// @param scale_hi Upper bound of the random resize factor.
+  /// @param noise_sigma Gaussian pixel-noise standard deviation.
+  /// @param seed Seed for the defense's private RNG stream.
   RandomizationDefense(float scale_lo, float scale_hi, float noise_sigma,
                        std::uint64_t seed)
       : scale_lo_(scale_lo),
@@ -76,11 +89,12 @@ class RandomizationDefense : public InputDefense {
   mutable Rng rng_;
 };
 
-/// JPEG-style compression (8x8 block DCT quantization). Not in the
+/// @brief JPEG-style compression (8x8 block DCT quantization). Not in the
 /// paper's Table II roster but a standard comparison point in the defense
 /// literature; included in bench/ablation_future_work.
 class JpegDefense : public InputDefense {
  public:
+  /// @param quality JPEG-like quality in [1,100]; lower = coarser.
   explicit JpegDefense(int quality = 50) : quality_(quality) {}
   Image apply(const Image& img) const override {
     return jpeg_like_compress(img, quality_);
@@ -91,7 +105,8 @@ class JpegDefense : public InputDefense {
   int quality_;
 };
 
-/// The roster evaluated in Table II, in paper order.
+/// @brief The roster evaluated in Table II, in paper order.
+/// @param seed Seed handed to the stochastic members of the roster.
 std::vector<std::unique_ptr<InputDefense>> table2_defenses(std::uint64_t seed);
 
 }  // namespace advp::defenses

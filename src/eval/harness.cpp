@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/obs.h"
 #include "core/parallel.h"
 
 namespace advp::eval {
@@ -74,6 +75,7 @@ const data::DrivingDataset& Harness::drive_test() {
 
 models::TinyYolo& Harness::detector() {
   if (!detector_) {
+    ADVP_OBS_SPAN("detector_init");
     Rng rng(config_.seed + 10);
     detector_ =
         std::make_unique<models::TinyYolo>(models::TinyYoloConfig{}, rng);
@@ -93,6 +95,7 @@ models::TinyYolo& Harness::detector() {
 
 models::DistNet& Harness::distnet() {
   if (!distnet_) {
+    ADVP_OBS_SPAN("distnet_init");
     Rng rng(config_.seed + 20);
     distnet_ = std::make_unique<models::DistNet>(models::DistNetConfig{}, rng);
     models::TrainConfig tc;
@@ -113,6 +116,8 @@ DetectionMetrics Harness::evaluate_sign_task(models::TinyYolo& model,
                                              const data::SignDataset& test,
                                              const SceneAttack& attack,
                                              const ImageTransform& defense) {
+  ADVP_OBS_SPAN("evaluate_sign_task");
+  ADVP_OBS_COUNT(kImagesProcessed, test.scenes.size());
   const std::size_t n = test.scenes.size();
   // Phase 1, serial: white-box attacks mutate their victim's gradient
   // state and defenses may carry RNG state, so transforms stay on the
@@ -121,27 +126,40 @@ DetectionMetrics Harness::evaluate_sign_task(models::TinyYolo& model,
   processed.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const auto& scene = test.scenes[i];
-    Image img = attack ? attack(scene, i) : scene.image;
-    if (defense) img = defense(img);
+    Image img;
+    if (attack) {
+      ADVP_OBS_SPAN("attack_transform");
+      img = attack(scene, i);
+    } else {
+      img = scene.image;
+    }
+    if (defense) {
+      ADVP_OBS_SPAN("defense");
+      img = defense(img);
+    }
     processed.push_back(std::move(img));
   }
   // Phase 2, parallel: inference fans out over scenes; each slot runs its
   // own model clone (forward passes cache activations per instance).
   std::vector<DetectionRecord> records(n);
-  auto clones = make_worker_clones(model, n, models::clone_detector);
-  parallel_for_slotted(
-      0, n, clones.size() + 1, [&](std::size_t slot, std::size_t i) {
-        models::TinyYolo& m = slot == 0 ? model : clones[slot - 1];
-        records[i].ground_truth = test.scenes[i].stop_signs;
-        records[i].detections =
-            m.detect(processed[i].to_batch(), kApGatherConf)[0];
-      });
+  {
+    ADVP_OBS_SPAN("inference");
+    auto clones = make_worker_clones(model, n, models::clone_detector);
+    parallel_for_slotted(
+        0, n, clones.size() + 1, [&](std::size_t slot, std::size_t i) {
+          models::TinyYolo& m = slot == 0 ? model : clones[slot - 1];
+          records[i].ground_truth = test.scenes[i].stop_signs;
+          records[i].detections =
+              m.detect(processed[i].to_batch(), kApGatherConf)[0];
+        });
+  }
   return evaluate_detections(records, 0.5f, kPrConf);
 }
 
 Harness::DistanceEval Harness::evaluate_distance_task(
     models::DistNet& model, const SequenceAttackFactory& attack,
     const ImageTransform& defense) {
+  ADVP_OBS_SPAN("evaluate_distance_task");
   // Phase 1, serial: build the attacked+defended frame list. CAP-style
   // attacks are stateful across the frames of one sequence, so frames stay
   // in sequence order; each sequence gets its own RNG stream via seq_index.
@@ -151,8 +169,17 @@ Harness::DistanceEval Harness::evaluate_distance_task(
   for (const auto& seq : eval_sequences()) {
     FrameAttack frame_attack = attack ? attack(seq_index++) : FrameAttack();
     for (const auto& frame : seq) {
-      Image img = frame_attack ? frame_attack(frame) : frame.image;
-      if (defense) img = defense(img);
+      Image img;
+      if (frame_attack) {
+        ADVP_OBS_SPAN("attack_transform");
+        img = frame_attack(frame);
+      } else {
+        img = frame.image;
+      }
+      if (defense) {
+        ADVP_OBS_SPAN("defense");
+        img = defense(img);
+      }
       frames.push_back(&frame);
       processed.push_back(std::move(img));
     }
@@ -161,14 +188,18 @@ Harness::DistanceEval Harness::evaluate_distance_task(
   // per-slot model clones. Errors are reduced in frame order afterwards,
   // so the metrics are bit-identical for any worker count.
   const std::size_t n = frames.size();
+  ADVP_OBS_COUNT(kImagesProcessed, n);
   std::vector<float> clean(n, 0.f), pred(n, 0.f);
-  auto clones = make_worker_clones(model, n, models::clone_distnet);
-  parallel_for_slotted(
-      0, n, clones.size() + 1, [&](std::size_t slot, std::size_t i) {
-        models::DistNet& m = slot == 0 ? model : clones[slot - 1];
-        clean[i] = m.predict(frames[i]->image.to_batch())[0];
-        pred[i] = m.predict(processed[i].to_batch())[0];
-      });
+  {
+    ADVP_OBS_SPAN("inference");
+    auto clones = make_worker_clones(model, n, models::clone_distnet);
+    parallel_for_slotted(
+        0, n, clones.size() + 1, [&](std::size_t slot, std::size_t i) {
+          models::DistNet& m = slot == 0 ? model : clones[slot - 1];
+          clean[i] = m.predict(frames[i]->image.to_batch())[0];
+          pred[i] = m.predict(processed[i].to_batch())[0];
+        });
+  }
   std::vector<float> dists, errors;
   dists.reserve(n);
   errors.reserve(n);

@@ -19,82 +19,104 @@
 
 namespace advp::eval {
 
+/// @brief Corpus sizes, training budgets, and cache location shared by
+/// every bench binary. All randomness derives from `seed`.
 struct HarnessConfig {
   // Sign-detection corpus (stands in for the paper's 416 stop-sign images).
-  int sign_train = 300;
-  int sign_test = 60;
-  int detector_epochs = 50;
+  int sign_train = 300;     ///< training scenes
+  int sign_test = 60;       ///< evaluation scenes
+  int detector_epochs = 50; ///< base-detector training epochs
   // Driving corpus (stands in for the paper's 9600 comma2k19 frames).
-  int drive_train = 320;
-  int distnet_epochs = 30;
+  int drive_train = 320;    ///< training frames
+  int distnet_epochs = 30;  ///< base-regressor training epochs
   // Evaluation sequences: per starting distance {16,36,56,76} m.
   int sequences_per_bin = 2;
   int frames_per_sequence = 20;
-  float sequence_dt = 0.1f;
-  std::uint64_t seed = 1234;
+  float sequence_dt = 0.1f;   ///< simulation step between frames (s)
+  std::uint64_t seed = 1234;  ///< root seed; sub-streams are derived per use
+  /// Weight-cache directory ("advp_cache", relative to the working dir).
   std::string cache_dir = models::default_cache_dir();
+  /// Cache-key suffix: weights are stored as `<model>_<cache_tag>.bin`.
+  /// Bump it (or delete cache_dir) to force retraining.
   std::string cache_tag = "v1";
 };
 
-/// Image -> Image stage (attack output, defense, or both chained).
+/// @brief Image -> Image stage (attack output, defense, or both chained).
 using ImageTransform = std::function<Image(const Image&)>;
-/// Per-scene attack for the detection task (sees ground truth for the
-/// white-box loss). `scene_index` is the scene's position in the test set;
-/// stochastic attacks derive their RNG from it (Rng::stream_seed) so
+/// @brief Per-scene attack for the detection task (sees ground truth for
+/// the white-box loss). `scene_index` is the scene's position in the test
+/// set; stochastic attacks derive their RNG from it (Rng::stream_seed) so
 /// results are independent of evaluation order and worker count.
 using SceneAttack =
     std::function<Image(const data::SignScene&, std::size_t scene_index)>;
-/// Per-frame attack for the regression task; invoked in sequence order so
-/// stateful attacks (CAP) can carry their patch across frames.
+/// @brief Per-frame attack for the regression task; invoked in sequence
+/// order so stateful attacks (CAP) can carry their patch across frames.
 using FrameAttack =
     std::function<Image(const data::DrivingFrame&)>;
-/// Factory producing a fresh FrameAttack per sequence (resets CAP state).
-/// `seq_index` seeds the per-sequence RNG stream, as with SceneAttack.
+/// @brief Factory producing a fresh FrameAttack per sequence (resets CAP
+/// state). `seq_index` seeds the per-sequence RNG stream, as with
+/// SceneAttack.
 using SequenceAttackFactory =
     std::function<FrameAttack(std::size_t seq_index)>;
 
+/// @brief Lazily builds and owns the shared experiment state: datasets,
+/// the two cached base models, and the evaluation loops behind every
+/// paper table. All accessors construct on first call and memoize.
 class Harness {
  public:
   explicit Harness(HarnessConfig config = {});
 
-  /// Base detector, trained on the clean sign corpus (cached).
+  /// @brief Base detector, trained on the clean sign corpus.
+  /// @throws CheckError if training data is empty (misconfigured corpus).
+  /// @return The cached model; first call trains or loads from cache_dir.
   models::TinyYolo& detector();
-  /// Base distance regressor, trained on the clean driving corpus (cached).
+  /// @brief Base distance regressor, trained on the clean driving corpus.
+  /// @return The cached model; first call trains or loads from cache_dir.
   models::DistNet& distnet();
 
   const data::SignDataset& sign_train();
   const data::SignDataset& sign_test();
   const data::DrivingDataset& drive_train();
-  /// Temporally-coherent evaluation sequences covering all distance bins.
+  /// @brief Temporally-coherent evaluation sequences covering all distance
+  /// bins.
   const std::vector<std::vector<data::DrivingFrame>>& eval_sequences();
-  /// The same sequences flattened to i.i.d. frames.
+  /// @brief The same sequences flattened to i.i.d. frames.
   const data::DrivingDataset& drive_test();
 
   const HarnessConfig& config() const { return config_; }
 
-  /// Runs `model` over `test` after applying `attack` then `defense`
-  /// (either may be null) and scores detection metrics. Detections are
-  /// gathered at a low confidence for a faithful AP while precision/recall
-  /// use the 0.5-confidence operating point.
+  /// @brief Runs `model` over `test` after applying `attack` then
+  /// `defense` and scores detection metrics.
   ///
   /// Attack and defense transforms run serially on the caller thread
   /// (white-box attacks mutate their victim model; defenses may be
   /// stateful); model inference then fans out over scenes with per-worker
   /// model clones. Metrics are bit-identical for any worker count.
+  /// @param model Detector under evaluation (also the attack's victim).
+  /// @param test Scenes to score.
+  /// @param attack Per-scene attack; null means evaluate clean images.
+  /// @param defense Input transform applied after the attack; may be null.
+  /// @return AP@50 (gathered at low confidence for a faithful PR sweep)
+  ///   plus precision/recall at the 0.5-confidence operating point.
   DetectionMetrics evaluate_sign_task(models::TinyYolo& model,
                                       const data::SignDataset& test,
                                       const SceneAttack& attack,
                                       const ImageTransform& defense);
 
+  /// Range-binned result of evaluate_distance_task.
   struct DistanceEval {
-    std::vector<float> bin_means;   ///< mean (pred_attacked - pred_clean)
-    std::vector<int> bin_counts;
-    float overall_mean_abs = 0.f;
+    std::vector<float> bin_means;  ///< mean (pred_attacked - pred_clean)
+    std::vector<int> bin_counts;   ///< frames per distance bin
+    float overall_mean_abs = 0.f;  ///< mean |pred_attacked - pred_clean|
   };
 
-  /// Runs `model` over the evaluation sequences: per frame, the clean
-  /// prediction is compared against the prediction after attack+defense.
-  /// Errors are binned by true distance into the paper's ranges.
+  /// @brief Runs `model` over the evaluation sequences: per frame, the
+  /// clean prediction is compared against the prediction after
+  /// attack+defense. Errors are binned by true distance into the paper's
+  /// ranges ([0,20]..[60,80] m).
+  /// @param model Distance regressor under evaluation.
+  /// @param attack Per-sequence attack factory; null evaluates clean.
+  /// @param defense Input transform applied after the attack; may be null.
   DistanceEval evaluate_distance_task(models::DistNet& model,
                                       const SequenceAttackFactory& attack,
                                       const ImageTransform& defense);

@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "core/check.h"
+#include "core/obs.h"
 #include "nn/optim.h"
 #include "nn/serialize.h"
 
@@ -36,11 +37,14 @@ DistNet clone_distnet(DistNet& src) {
 float train_detector(TinyYolo& model, const data::SignDataset& train,
                      const TrainConfig& cfg) {
   ADVP_CHECK(!train.scenes.empty());
+  ADVP_OBS_SPAN("train_detector");
   Rng rng(cfg.seed);
   nn::Adam opt(model.params(), cfg.lr);
   float last_epoch_loss = 0.f;
   const std::size_t n = train.scenes.size();
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    ADVP_OBS_SPAN("epoch");
+    ADVP_OBS_COUNT(kTrainEpochs, 1);
     auto order = rng.permutation(n);
     double epoch_loss = 0.0;
     int batches = 0;
@@ -74,11 +78,14 @@ float train_detector(TinyYolo& model, const data::SignDataset& train,
 float train_distnet(DistNet& model, const data::DrivingDataset& train,
                     const TrainConfig& cfg) {
   ADVP_CHECK(!train.frames.empty());
+  ADVP_OBS_SPAN("train_distnet");
   Rng rng(cfg.seed);
   nn::Adam opt(model.params(), cfg.lr);
   float last_epoch_loss = 0.f;
   const std::size_t n = train.frames.size();
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    ADVP_OBS_SPAN("epoch");
+    ADVP_OBS_COUNT(kTrainEpochs, 1);
     auto order = rng.permutation(n);
     double epoch_loss = 0.0;
     int batches = 0;
@@ -115,7 +122,11 @@ bool cached_weights(const std::string& cache_dir, const std::string& key,
   namespace fs = std::filesystem;
   fs::create_directories(cache_dir);
   const std::string path = cache_dir + "/" + key + ".bin";
-  if (nn::load_params_file(params, path)) return true;
+  if (nn::load_params_file(params, path)) {
+    ADVP_OBS_COUNT(kCacheHits, 1);
+    return true;
+  }
+  ADVP_OBS_COUNT(kCacheMisses, 1);
   train_fn();
   nn::save_params_file(params, path);
   return false;

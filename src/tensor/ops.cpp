@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/check.h"
+#include "core/obs.h"
 #include "core/parallel.h"
 
 namespace advp {
@@ -39,6 +40,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     }
   };
   const std::size_t flops = static_cast<std::size_t>(m) * k * n;
+  ADVP_OBS_COUNT(kMatmulFlops, 2 * static_cast<std::uint64_t>(flops));
   if (m >= 2 && flops >= kMatmulParallelFlops && max_workers() > 1 &&
       !in_parallel_region()) {
     const std::size_t grain =
@@ -129,6 +131,9 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
   const std::size_t x_stride = static_cast<std::size_t>(c_in) * h * wd;
   const std::size_t y_stride =
       static_cast<std::size_t>(spec.out_channels) * ho * wo;
+  // One MAC per (item, out-channel, patch entry, output pixel); the im2col
+  // GEMMs below also land in matmul_flops (documented overlap).
+  ADVP_OBS_COUNT(kConv2dFlops, 2ull * n * y_stride * patch);
   // Batch items are independent (disjoint output planes, per-item column
   // buffer), so the batch loop parallelizes with bit-identical results.
   // For N == 1 the inner matmul parallelizes over output channels instead.
@@ -172,6 +177,8 @@ Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
   const std::size_t x_stride = static_cast<std::size_t>(c_in) * h * wd;
   const std::size_t y_stride =
       static_cast<std::size_t>(spec.out_channels) * ho * wo;
+  // dW and dX each cost one forward-sized GEMM per item.
+  ADVP_OBS_COUNT(kConv2dFlops, 4ull * n * y_stride * patch);
   // Per-item weight/bias partials computed in parallel (dx planes are
   // disjoint), then reduced on the caller in index order — the same
   // accumulation order as a plain serial loop, so gradients are

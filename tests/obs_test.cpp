@@ -1,0 +1,239 @@
+// Observability-layer tests: span nesting and aggregation, counter
+// aggregation across parallel_for workers, manifest JSON well-formedness,
+// and the load-bearing guarantee that tracing never perturbs results —
+// harness evaluation must be bit-identical with tracing on and off.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/obs.h"
+#include "core/parallel.h"
+#include "defenses/adv_train.h"
+#include "eval/harness.h"
+
+namespace advp {
+namespace {
+
+// Every test leaves tracing the way it found it: off, with empty state.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (obs::trace_disabled()) GTEST_SKIP() << "ADVP_TRACE=0 in environment";
+    obs::enable(false);
+    obs::reset();
+  }
+  void TearDown() override {
+    obs::enable(false);
+    obs::reset();
+  }
+};
+
+// Minimal structural JSON check: strings (with escapes) are skipped,
+// braces/brackets must balance. Enough to catch broken serialization
+// without hand-rolling a full parser in the test.
+bool json_well_formed(const std::string& s) {
+  int depth = 0;
+  bool in_str = false, esc = false;
+  for (char c : s) {
+    if (in_str) {
+      if (esc)
+        esc = false;
+      else if (c == '\\')
+        esc = true;
+      else if (c == '"')
+        in_str = false;
+      continue;
+    }
+    if (c == '"')
+      in_str = true;
+    else if (c == '{' || c == '[')
+      ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_str;
+}
+
+const obs::SpanStats* find_span(const std::vector<obs::SpanStats>& spans,
+                                const std::string& path) {
+  for (const auto& s : spans)
+    if (s.path == path) return &s;
+  return nullptr;
+}
+
+// ---- spans ----------------------------------------------------------------
+
+TEST_F(ObsTest, NestedSpansAggregateUnderJoinedPath) {
+  obs::enable();
+  {
+    ADVP_OBS_SPAN("outer");
+    {
+      ADVP_OBS_SPAN("inner");
+    }
+    {
+      ADVP_OBS_SPAN("inner");
+    }
+  }
+  {
+    ADVP_OBS_SPAN("outer");
+  }
+  auto spans = obs::span_snapshot();
+  const auto* outer = find_span(spans, "outer");
+  const auto* inner = find_span(spans, "outer/inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->calls, 2u);
+  EXPECT_EQ(inner->calls, 2u);
+  // The inner spans ran entirely inside the first outer span.
+  EXPECT_GE(outer->total_ms, inner->total_ms);
+  EXPECT_GE(outer->max_ms, outer->min_ms);
+  EXPECT_EQ(find_span(spans, "inner"), nullptr);  // never a root span
+}
+
+TEST_F(ObsTest, DisabledSpansAndCountersRecordNothing) {
+  ASSERT_FALSE(obs::enabled());
+  {
+    ADVP_OBS_SPAN("ghost");
+    ADVP_OBS_COUNT(kImagesProcessed, 7);
+  }
+  EXPECT_TRUE(obs::span_snapshot().empty());
+  EXPECT_EQ(obs::counter_value(obs::Counter::kImagesProcessed), 0u);
+}
+
+TEST_F(ObsTest, ResetClearsSpansAndCounters) {
+  obs::enable();
+  {
+    ADVP_OBS_SPAN("s");
+  }
+  ADVP_OBS_COUNT(kCacheHits, 3);
+  EXPECT_FALSE(obs::span_snapshot().empty());
+  obs::reset();
+  EXPECT_TRUE(obs::span_snapshot().empty());
+  EXPECT_EQ(obs::counter_value(obs::Counter::kCacheHits), 0u);
+}
+
+// ---- counters -------------------------------------------------------------
+
+TEST_F(ObsTest, CountersAggregateAcrossParallelWorkers) {
+  obs::enable();
+  ScopedMaxWorkers workers(4);
+  const std::size_t n = 1000;
+  parallel_for(0, n, [](std::size_t) { ADVP_OBS_COUNT(kImagesProcessed, 1); });
+  EXPECT_EQ(obs::counter_value(obs::Counter::kImagesProcessed), n);
+  // The dispatch itself was recorded: one multi-worker dispatch covering
+  // n single-index chunks.
+  EXPECT_EQ(obs::counter_value(obs::Counter::kParallelDispatches), 1u);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kParallelChunks), n);
+  EXPECT_GE(obs::counter_value(obs::Counter::kParallelWorkers), 2u);
+}
+
+TEST_F(ObsTest, CounterNamesAreStableSnakeCase) {
+  EXPECT_STREQ(obs::counter_name(obs::Counter::kMatmulFlops), "matmul_flops");
+  EXPECT_STREQ(obs::counter_name(obs::Counter::kCacheMisses), "cache_misses");
+  for (int i = 0; i < static_cast<int>(obs::Counter::kCount); ++i)
+    EXPECT_NE(obs::counter_name(static_cast<obs::Counter>(i)), nullptr);
+}
+
+// ---- manifest -------------------------------------------------------------
+
+TEST_F(ObsTest, ManifestJsonIsWellFormedWithRequiredKeys) {
+  obs::enable();
+  {
+    ADVP_OBS_SPAN("phase_a");
+    { ADVP_OBS_SPAN("sub"); }
+  }
+  ADVP_OBS_COUNT(kMatmulFlops, 123);
+  obs::RunManifest m("obs_test_run");
+  m.set("seed", std::uint64_t{42});
+  m.set("note", std::string("quote\" backslash\\ newline\n"));
+  m.set("lr", 0.125);
+  const std::string js = m.to_json();
+  EXPECT_TRUE(json_well_formed(js)) << js;
+  for (const char* key :
+       {"\"name\"", "\"schema\"", "\"config\"", "\"threads\"", "\"git\"",
+        "\"counters\"", "\"spans\"", "\"seed\"", "\"matmul_flops\"",
+        "\"phase_a\"", "\"sub\""})
+    EXPECT_NE(js.find(key), std::string::npos) << key << " missing:\n" << js;
+  // Control characters and quotes must arrive escaped.
+  EXPECT_NE(js.find("quote\\\" backslash\\\\ newline\\n"), std::string::npos);
+}
+
+TEST_F(ObsTest, ManifestWriteCreatesReadableFile) {
+  obs::enable();
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "advp_obs_test_manifest";
+  fs::create_directories(dir);
+  obs::RunManifest m("obs_test_write");
+  const std::string out = m.write((dir / "obs_test.manifest.json").string());
+  ASSERT_FALSE(out.empty());
+  std::ifstream in(out);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(json_well_formed(buf.str()));
+  EXPECT_NE(buf.str().find("\"obs_test_write\""), std::string::npos);
+  fs::remove_all(dir);
+}
+
+// ---- tracing never perturbs results ---------------------------------------
+
+TEST_F(ObsTest, HarnessResultsBitIdenticalWithTracingOnAndOff) {
+  namespace fs = std::filesystem;
+  eval::HarnessConfig cfg;
+  cfg.sign_train = 24;
+  cfg.sign_test = 12;
+  cfg.detector_epochs = 2;
+  cfg.cache_dir = (fs::temp_directory_path() / "advp_obs_test_cache").string();
+  cfg.cache_tag = "obs_test";
+  fs::remove_all(cfg.cache_dir);
+
+  auto fgsm = [](models::TinyYolo& victim) -> eval::SceneAttack {
+    return [&victim](const data::SignScene& scene, std::size_t index) {
+      Rng rng(Rng::stream_seed(42, index));
+      return defenses::attack_sign_scene(scene, defenses::AttackKind::kFgsm,
+                                         victim, rng, {});
+    };
+  };
+
+  // Pass 1: tracing off (the default for tests and golden runs).
+  eval::DetectionMetrics off;
+  {
+    eval::Harness h(cfg);
+    auto& det = h.detector();  // cache miss: trains and stores weights
+    off = h.evaluate_sign_task(det, h.sign_test(), fgsm(det), nullptr);
+    EXPECT_TRUE(obs::span_snapshot().empty());
+  }
+
+  // Pass 2: tracing on; the cached weights make the model identical.
+  obs::enable();
+  eval::DetectionMetrics on;
+  {
+    eval::Harness h(cfg);
+    auto& det = h.detector();
+    on = h.evaluate_sign_task(det, h.sign_test(), fgsm(det), nullptr);
+    EXPECT_EQ(obs::counter_value(obs::Counter::kCacheHits), 1u);
+    EXPECT_EQ(obs::counter_value(obs::Counter::kImagesProcessed),
+              static_cast<std::uint64_t>(cfg.sign_test));
+    auto spans = obs::span_snapshot();
+    EXPECT_NE(find_span(spans, "evaluate_sign_task"), nullptr);
+    EXPECT_NE(find_span(spans, "evaluate_sign_task/attack_transform"),
+              nullptr);
+    EXPECT_NE(find_span(spans, "evaluate_sign_task/inference"), nullptr);
+  }
+
+  EXPECT_EQ(off.map50, on.map50);
+  EXPECT_EQ(off.precision, on.precision);
+  EXPECT_EQ(off.recall, on.recall);
+  EXPECT_EQ(off.true_positives, on.true_positives);
+  EXPECT_EQ(off.false_positives, on.false_positives);
+  EXPECT_EQ(off.false_negatives, on.false_negatives);
+  fs::remove_all(cfg.cache_dir);
+}
+
+}  // namespace
+}  // namespace advp

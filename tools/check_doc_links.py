@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Checks relative markdown links (and their #anchors) in the given files.
+
+Usage: python3 tools/check_doc_links.py README.md docs/*.md
+
+External links (http/https/mailto) are skipped — CI has no network and
+their liveness is not this repo's contract. Exit code 1 if any relative
+link points at a missing file or a missing heading anchor.
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> #anchor slug (lowercase, punctuation stripped)."""
+    heading = re.sub(r"[*`\[\]()]", "", heading).strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {github_anchor(h) for h in HEADING.findall(text)}
+
+
+def main(argv):
+    errors = []
+    for name in argv:
+        src = Path(name)
+        text = CODE_FENCE.sub("", src.read_text(encoding="utf-8"))
+        for target in LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            ref, _, frag = target.partition("#")
+            dest = src if not ref else (src.parent / ref).resolve()
+            if not dest.exists():
+                errors.append(f"{src}: broken link -> {target}")
+                continue
+            if frag and dest.suffix == ".md" and github_anchor(frag) not in anchors_of(dest):
+                errors.append(f"{src}: missing anchor -> {target}")
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"{'FAIL' if errors else 'OK'}: {len(errors)} broken link(s) "
+          f"across {len(argv)} file(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
