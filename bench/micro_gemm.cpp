@@ -1,0 +1,138 @@
+// GFLOP/s of the blocked GEMM kernel layer versus the seed i-k-j matmul,
+// across the shapes the models actually produce (conv im2col products for
+// TinyYolo/DistNet at batch 1 and training batch sizes, the dense heads,
+// and the 256^3 reference square). Emits a JSON object on stdout:
+//
+//   {"workers": 1, "backend": "avx2", "shapes": [
+//     {"name": "gemm_256", "m": 256, "k": 256, "n": 256,
+//      "seed_gflops": ..., "blocked_gflops": ..., "speedup": ...,
+//      "parallel_gflops": ..., "identical": true}, ...]}
+//
+// `identical` is a bitwise comparison of the blocked kernel's output
+// against the seed loop — the determinism contract (same FMA per element
+// in ascending k order) makes them agree exactly, not just approximately.
+//
+// tools/check_gemm_perf.py compares the speedup column against the
+// committed BENCH_gemm.json baseline in CI (GFLOP/s is hardware-bound;
+// the blocked-vs-seed ratio is the portable signal).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/parallel.h"
+#include "core/scratch.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using namespace advp;
+
+using Clock = std::chrono::steady_clock;
+
+// The seed repository's matmul inner loop (i-k-j with the zero skip),
+// kept verbatim as the performance baseline.
+void seed_matmul(const float* ap, const float* bp, float* cp, int m, int k,
+                 int n) {
+  std::fill(cp, cp + static_cast<std::size_t>(m) * n, 0.f);
+  for (int i = 0; i < m; ++i) {
+    const float* arow = ap + static_cast<std::size_t>(i) * k;
+    float* crow = cp + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.f) continue;
+      const float* brow = bp + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+template <typename Fn>
+double best_ms(int reps, Fn fn) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const auto t1 = Clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct ShapeSpec {
+  const char* name;
+  int m, k, n;
+};
+
+}  // namespace
+
+int main() {
+  bench::BenchRun run("micro_gemm");
+  run.manifest().set("backend", std::string(gemm_backend()));
+  run.manifest().set("workers",
+                     static_cast<std::uint64_t>(hardware_workers()));
+
+  // Conv im2col products: M = Cout, K = Cin*3*3, N = batch*Ho*Wo (32x32
+  // inputs, pooled between stages). Dense heads and the 256^3 reference.
+  const std::vector<ShapeSpec> shapes = {
+      {"yolo_conv1_b1", 16, 27, 1024},   {"yolo_conv1_b8", 16, 27, 8192},
+      {"yolo_conv2_b8", 32, 144, 2048},  {"yolo_conv3_b8", 64, 288, 512},
+      {"distnet_conv2_b16", 24, 108, 4096},
+      {"distnet_linear_b64", 64, 768, 48},
+      {"gemm_256", 256, 256, 256},       {"gemm_384", 384, 384, 384},
+  };
+
+  std::printf("{\n  \"workers\": %zu,\n  \"backend\": \"%s\",\n",
+              hardware_workers(), gemm_backend());
+  std::printf("  \"shapes\": [\n");
+  Rng rng(42);
+  for (std::size_t si = 0; si < shapes.size(); ++si) {
+    const ShapeSpec& s = shapes[si];
+    Tensor a = Tensor::randn({s.m, s.k}, rng);
+    Tensor b = Tensor::randn({s.k, s.n}, rng);
+    Tensor c_seed({s.m, s.n}), c_blk({s.m, s.n});
+    const double macs = static_cast<double>(s.m) * s.k * s.n;
+    // Size the repetition count for a roughly constant per-shape budget.
+    const int reps = std::clamp(static_cast<int>(2e8 / macs), 3, 60);
+
+    double seed_ms, blk_ms, par_ms;
+    {
+      ScopedMaxWorkers one(1);
+      seed_ms = best_ms(
+          reps, [&] { seed_matmul(a.data(), b.data(), c_seed.data(), s.m,
+                                  s.k, s.n); });
+      blk_ms = best_ms(reps, [&] {
+        gemm(s.m, s.n, s.k, a.data(), s.k, false, b.data(), s.n, false,
+             c_blk.data(), s.n);
+      });
+    }
+    par_ms = best_ms(reps, [&] {
+      gemm(s.m, s.n, s.k, a.data(), s.k, false, b.data(), s.n, false,
+           c_blk.data(), s.n);
+    });
+
+    bool identical = true;
+    for (std::size_t i = 0; i < c_seed.numel() && identical; ++i)
+      identical = c_seed[i] == c_blk[i];
+
+    const double seed_gflops = 2.0 * macs / (seed_ms * 1e6);
+    const double blk_gflops = 2.0 * macs / (blk_ms * 1e6);
+    const double par_gflops = 2.0 * macs / (par_ms * 1e6);
+    std::printf(
+        "    {\"name\": \"%s\", \"m\": %d, \"k\": %d, \"n\": %d, "
+        "\"seed_gflops\": %.2f, \"blocked_gflops\": %.2f, "
+        "\"speedup\": %.2f, \"parallel_gflops\": %.2f, "
+        "\"identical\": %s}%s\n",
+        s.name, s.m, s.k, s.n, seed_gflops, blk_gflops,
+        blk_gflops / seed_gflops, par_gflops, identical ? "true" : "false",
+        si + 1 < shapes.size() ? "," : "");
+    run.manifest().set(std::string(s.name) + "_gflops", blk_gflops);
+    run.manifest().set(std::string(s.name) + "_speedup",
+                       blk_gflops / seed_gflops);
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

@@ -131,6 +131,9 @@ const char* counter_name(Counter c) {
     case Counter::kParallelDispatches: return "parallel_dispatches";
     case Counter::kParallelChunks: return "parallel_chunks";
     case Counter::kParallelWorkers: return "parallel_workers_engaged";
+    case Counter::kGemmPackBytes: return "gemm_pack_bytes";
+    case Counter::kScratchHits: return "scratch_hits";
+    case Counter::kScratchGrows: return "scratch_grows";
     case Counter::kCount: break;
   }
   return "?";

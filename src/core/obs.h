@@ -80,6 +80,9 @@ enum class Counter : int {
   kParallelDispatches,  ///< multi-worker parallel_for dispatches
   kParallelChunks,      ///< chunks scheduled across those dispatches
   kParallelWorkers,     ///< sum of participants per dispatch (utilization)
+  kGemmPackBytes,       ///< bytes staged into packed GEMM A/B panels
+  kScratchHits,         ///< scratch-arena allocations served without heap
+  kScratchGrows,        ///< scratch-arena heap growth/coalesce events
   kCount
 };
 

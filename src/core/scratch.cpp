@@ -1,0 +1,124 @@
+#include "core/scratch.h"
+
+#include <algorithm>
+#include <new>
+
+#include "core/check.h"
+#include "core/obs.h"
+
+namespace advp {
+
+namespace {
+
+constexpr std::size_t kMinChunkBytes = std::size_t{64} * 1024;
+constexpr std::size_t kChunkAlign = 64;
+
+unsigned char* chunk_new(std::size_t bytes) {
+  return static_cast<unsigned char*>(
+      ::operator new(bytes, std::align_val_t(kChunkAlign)));
+}
+
+void chunk_delete(unsigned char* p) {
+  ::operator delete(p, std::align_val_t(kChunkAlign));
+}
+
+}  // namespace
+
+ScratchArena::~ScratchArena() {
+  for (Chunk& c : chunks_) chunk_delete(c.data);
+}
+
+ScratchArena& ScratchArena::local() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+ScratchArena::Frame::Frame(ScratchArena& arena)
+    : arena_(arena),
+      chunk_count_(arena.chunks_.size()),
+      used_(arena.chunks_.empty() ? 0 : arena.chunks_.back().used) {
+  ++arena_.open_frames_;
+}
+
+ScratchArena::Frame::~Frame() {
+  arena_.pop_to(chunk_count_, used_);
+  if (--arena_.open_frames_ == 0) arena_.coalesce();
+}
+
+void* ScratchArena::alloc_bytes(std::size_t bytes, std::size_t align) {
+  ADVP_CHECK_MSG(open_frames_ > 0,
+                 "ScratchArena: allocation outside any Frame");
+  ADVP_CHECK_MSG(align > 0 && (align & (align - 1)) == 0 &&
+                     align <= kChunkAlign,
+                 "ScratchArena: bad alignment " << align);
+  if (!chunks_.empty()) {
+    Chunk& c = chunks_.back();
+    const std::size_t start = (c.used + align - 1) & ~(align - 1);
+    if (start + bytes <= c.size) {
+      c.used = start + bytes;
+      ++hits_;
+      ADVP_OBS_COUNT(kScratchHits, 1);
+      high_water_ = std::max(high_water_, capacity_bytes());
+      return c.data + start;
+    }
+  }
+  // Current chunk exhausted: append a bigger one. Old chunks stay alive so
+  // pointers handed out earlier in this frame remain valid.
+  const std::size_t total = capacity_bytes();
+  const std::size_t want =
+      std::max({bytes, 2 * total, kMinChunkBytes});
+  Chunk c;
+  c.data = chunk_new(want);
+  c.size = want;
+  c.used = bytes;
+  chunks_.push_back(c);
+  ++grows_;
+  ADVP_OBS_COUNT(kScratchGrows, 1);
+  high_water_ = std::max(high_water_, capacity_bytes());
+  return c.data;
+}
+
+float* ScratchArena::alloc_floats(std::size_t n) {
+  return static_cast<float*>(alloc_bytes(n * sizeof(float)));
+}
+
+std::size_t ScratchArena::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.size;
+  return total;
+}
+
+void ScratchArena::pop_to(std::size_t chunk_count, std::size_t used) {
+  // Allocations made since the frame opened land in chunks_[chunk_count-1]
+  // (beyond `used`) and in any later chunks; roll those back but keep the
+  // capacity for reuse.
+  for (std::size_t i = chunk_count; i < chunks_.size(); ++i)
+    chunks_[i].used = 0;
+  if (chunk_count > 0) chunks_[chunk_count - 1].used = used;
+}
+
+void ScratchArena::coalesce() {
+  // Called when the outermost frame closes (no live pointers): replace a
+  // fragmented chunk list with one right-sized buffer so the next frame of
+  // the same workload is served by pure pointer bumps.
+  if (chunks_.size() <= 1) return;
+  const std::size_t total = capacity_bytes();
+  for (Chunk& c : chunks_) chunk_delete(c.data);
+  chunks_.clear();
+  Chunk c;
+  c.data = chunk_new(total);
+  c.size = total;
+  c.used = 0;
+  chunks_.push_back(c);
+  ++grows_;
+  ADVP_OBS_COUNT(kScratchGrows, 1);
+}
+
+void ScratchArena::release() {
+  ADVP_CHECK_MSG(open_frames_ == 0,
+                 "ScratchArena::release with a Frame still open");
+  for (Chunk& c : chunks_) chunk_delete(c.data);
+  chunks_.clear();
+}
+
+}  // namespace advp

@@ -1,0 +1,101 @@
+// Thread-local scratch arena for kernel temporaries.
+//
+// The GEMM/conv hot path needs short-lived buffers — im2col columns, packed
+// A/B panels, col2im staging — whose sizes repeat call after call. Heap
+// allocating them per call puts malloc/free (and page faults on first
+// touch) inside the innermost training/attack loops. The arena instead
+// hands out bump-pointer slices of a buffer that is retained between calls:
+// after a one-time warm-up the steady state performs zero heap allocations.
+//
+// Usage pattern (always scope allocations with a Frame):
+//
+//   ScratchArena& arena = ScratchArena::local();
+//   ScratchArena::Frame frame(arena);
+//   float* cols = arena.alloc_floats(patch * out_pixels);
+//   ...                      // cols valid until `frame` is destroyed
+//
+// Lifetime rules:
+//  - Every allocation must happen inside at least one live Frame; the
+//    pointer is valid until that Frame is destroyed. Frames nest (LIFO).
+//  - The arena is thread_local: each pool worker owns one, so kernels may
+//    allocate freely inside parallel_for bodies without locking. Pointers
+//    must not be shared across threads beyond the frame's scope.
+//  - Growth never invalidates live pointers: when the current chunk is
+//    full a new chunk is appended, and chunks are coalesced into a single
+//    right-sized buffer only when the outermost frame closes (at which
+//    point no scratch pointer is live by rule 1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace advp {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ~ScratchArena();
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// @brief The calling thread's arena (created on first use, retained for
+  /// the thread's lifetime).
+  static ScratchArena& local();
+
+  /// @brief RAII allocation scope: on destruction, every allocation made
+  /// since construction is released (the memory is retained for reuse).
+  class Frame {
+   public:
+    explicit Frame(ScratchArena& arena);
+    ~Frame();
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+   private:
+    ScratchArena& arena_;
+    std::size_t chunk_count_;  // chunks present when the frame opened
+    std::size_t used_;         // bytes used in the last such chunk
+  };
+
+  /// @brief 64-byte-aligned buffer of `n` floats, valid until the
+  /// innermost enclosing Frame closes. Contents are uninitialized.
+  float* alloc_floats(std::size_t n);
+
+  /// @brief Raw aligned allocation (alignment must be a power of two).
+  void* alloc_bytes(std::size_t bytes, std::size_t align = 64);
+
+  // ---- statistics (test + obs instrumentation hooks) -----------------------
+
+  /// Allocations served from already-owned memory.
+  std::uint64_t hit_count() const { return hits_; }
+  /// Allocations (or coalesces) that had to touch the heap. Constant in
+  /// steady state — gemm_test asserts on exactly this.
+  std::uint64_t grow_count() const { return grows_; }
+  /// Total bytes of backing storage currently owned.
+  std::size_t capacity_bytes() const;
+  /// Largest total footprint ever reached inside a frame.
+  std::size_t high_water_bytes() const { return high_water_; }
+
+  /// @brief Frees all backing storage (requires no open frames; tests use
+  /// this to re-measure warm-up behaviour).
+  void release();
+
+ private:
+  struct Chunk {
+    unsigned char* data = nullptr;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  void pop_to(std::size_t chunk_count, std::size_t used);
+  void coalesce();
+
+  std::vector<Chunk> chunks_;
+  std::size_t open_frames_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t grows_ = 0;
+};
+
+}  // namespace advp

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "tensor/gemm.h"
 
 namespace advp::nn {
 
@@ -52,7 +53,11 @@ Tensor Linear::forward(const Tensor& x, bool) {
   ADVP_CHECK_MSG(x.rank() == 2 && x.dim(1) == in_,
                  "Linear: expected [N," << in_ << "]");
   x_cache_ = x;
-  Tensor y = matmul(x, transpose(w_.value));  // [N, out]
+  // y = x W^T: the kernel layer reads W transposed while packing, so no
+  // transposed copy of the weights is materialized per forward pass.
+  Tensor y({x.dim(0), out_});
+  gemm(x.dim(0), out_, in_, x.data(), in_, /*trans_a=*/false,
+       w_.value.data(), in_, /*trans_b=*/true, y.data(), out_);
   for (int i = 0; i < y.dim(0); ++i)
     for (int j = 0; j < out_; ++j) y.at(i, j) += b_.value[static_cast<std::size_t>(j)];
   return y;
@@ -62,7 +67,10 @@ Tensor Linear::backward(const Tensor& dy) {
   ADVP_CHECK_MSG(!x_cache_.empty(), "Linear::backward before forward");
   ADVP_CHECK(dy.rank() == 2 && dy.dim(1) == out_);
   // dW = dy^T x ; db = sum rows dy ; dx = dy W
-  w_.grad += matmul(transpose(dy), x_cache_);
+  Tensor dw({out_, in_});
+  gemm(out_, in_, dy.dim(0), dy.data(), out_, /*trans_a=*/true,
+       x_cache_.data(), in_, /*trans_b=*/false, dw.data(), in_);
+  w_.grad += dw;
   for (int i = 0; i < dy.dim(0); ++i)
     for (int j = 0; j < out_; ++j) b_.grad[static_cast<std::size_t>(j)] += dy.at(i, j);
   return matmul(dy, w_.value);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace advp::nn {
@@ -110,8 +111,11 @@ LossResult info_nce_loss(const Tensor& embeddings, float temperature,
     for (int j = 0; j < d; ++j) z.at(i, j) = embeddings.at(i, j) / nm;
   }
 
-  // Similarity matrix sim = z z^T / tau, with positive-pair margin.
-  Tensor sim = matmul(z, transpose(z));
+  // Similarity matrix sim = z z^T / tau, with positive-pair margin. The
+  // kernel layer reads the second operand transposed while packing.
+  Tensor sim({m, m});
+  gemm(m, m, d, z.data(), d, /*trans_a=*/false, z.data(), d,
+       /*trans_b=*/true, sim.data(), m);
   auto pos_of = [](int i) { return i ^ 1; };
   for (int i = 0; i < m; ++i) sim.at(i, pos_of(i)) -= margin;
   sim *= 1.f / temperature;
@@ -134,7 +138,10 @@ LossResult info_nce_loss(const Tensor& embeddings, float temperature,
 
   // dL/dz = (dsim + dsim^T) z   (sim is symmetric in z).
   Tensor dz = matmul(dsim, z);
-  dz += matmul(transpose(dsim), z);
+  Tensor dzt({m, d});
+  gemm(m, d, m, dsim.data(), m, /*trans_a=*/true, z.data(), d,
+       /*trans_b=*/false, dzt.data(), d);
+  dz += dzt;
 
   // Back through normalization: de = (dz - (dz.z) z) / ||e||.
   r.grad = Tensor({m, d});

@@ -1,0 +1,384 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "core/check.h"
+#include "core/obs.h"
+#include "core/parallel.h"
+#include "core/scratch.h"
+
+#if defined(ADVP_SIMD) && defined(__AVX512F__)
+#define ADVP_GEMM_AVX512 1
+#include <immintrin.h>
+#elif defined(ADVP_SIMD) && defined(__AVX2__) && defined(__FMA__)
+#define ADVP_GEMM_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace advp {
+
+namespace {
+
+// Micro-tile: MR rows x NR columns of C held in registers (NR = two SIMD
+// vectors of the widest enabled ISA). The portable kernel is templated on
+// the same geometry, so packed panels are laid out identically whichever
+// kernel runs. Cache blocking: Kc-deep panels keep a B micro-panel
+// (Kc x NR floats) in L1 and an Mc x Kc A block in L2. Mc must be a
+// multiple of MR.
+#ifdef ADVP_GEMM_AVX512
+constexpr int kMr = 8;
+constexpr int kNr = 32;
+#else
+constexpr int kMr = 6;
+constexpr int kNr = 16;
+#endif
+constexpr int kMc = 96;
+constexpr int kKc = 256;
+// Widest per-worker column stripe: bounds the packed-B buffer (Kc * Nc
+// floats = 1 MiB) and gives the parallel path enough stripes to share.
+constexpr int kNc = 1024;
+
+// Below this many multiply-accumulates the packing setup costs more than
+// it saves; run the plain loop (identical per-element operation order).
+constexpr std::size_t kNaiveMacLimit = 4096;
+// Minimum MACs before the stripe loop fans out to the worker pool.
+constexpr std::size_t kParallelMacLimit = std::size_t{1} << 16;
+
+std::atomic<bool> g_force_portable{false};
+
+inline int round_up(int v, int to) { return (v + to - 1) / to * to; }
+
+// op(A)(i, kk) / op(B)(kk, j) under the trans flags.
+inline float a_at(const float* a, int lda, bool trans_a, int i, int kk) {
+  return trans_a ? a[static_cast<std::size_t>(kk) * lda + i]
+                 : a[static_cast<std::size_t>(i) * lda + kk];
+}
+inline float b_at(const float* b, int ldb, bool trans_b, int kk, int j) {
+  return trans_b ? b[static_cast<std::size_t>(j) * ldb + kk]
+                 : b[static_cast<std::size_t>(kk) * ldb + j];
+}
+
+// Plain i-k-j loop for tiny products. One FMA per (element, k) in
+// ascending k order — the same operation sequence as the blocked path, so
+// the two tiers agree bit-for-bit and the threshold is purely a
+// performance knob.
+void naive_gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
+                const float* b, int ldb, bool trans_b, float* c, int ldc,
+                bool accumulate) {
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<std::size_t>(i) * ldc;
+    if (!accumulate) std::fill(crow, crow + n, 0.f);
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = a_at(a, lda, trans_a, i, kk);
+      if (!trans_b) {
+        const float* brow = b + static_cast<std::size_t>(kk) * ldb;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      } else {
+        for (int j = 0; j < n; ++j)
+          crow[j] += av * b[static_cast<std::size_t>(j) * ldb + kk];
+      }
+    }
+  }
+}
+
+// ---- packing ---------------------------------------------------------------
+
+// Stages op(A) into row panels of kMr rows spanning the full k range:
+// panel p holds rows [p*kMr, p*kMr + kMr), element (r, kk) at
+// panel[kk*kMr + r]. Rows past m are zero (they only feed discarded
+// accumulator lanes).
+void pack_a(const float* a, int lda, bool trans_a, int m, int k, float* ap) {
+  for (int ip = 0; ip < m; ip += kMr) {
+    const int mr = std::min(kMr, m - ip);
+    float* panel = ap + static_cast<std::size_t>(ip / kMr) * kMr * k;
+    for (int kk = 0; kk < k; ++kk) {
+      float* dst = panel + static_cast<std::size_t>(kk) * kMr;
+      for (int r = 0; r < kMr; ++r)
+        dst[r] = r < mr ? a_at(a, lda, trans_a, ip + r, kk) : 0.f;
+    }
+  }
+  ADVP_OBS_COUNT(kGemmPackBytes,
+                 static_cast<std::uint64_t>(round_up(m, kMr)) * k *
+                     sizeof(float));
+}
+
+// Stages op(B) rows [pc, pc+kc) x columns [j0, j0+nw) into column panels
+// of kNr: panel jp holds element (kk, j) at panel[kk*kNr + j]. Columns
+// past n are zero.
+void pack_b(const float* b, int ldb, bool trans_b, int pc, int kc, int j0,
+            int nw, float* bp) {
+  for (int jp = 0; jp < nw; jp += kNr) {
+    const int nr = std::min(kNr, nw - jp);
+    float* panel = bp + static_cast<std::size_t>(jp / kNr) * kc * kNr;
+    if (!trans_b) {
+      for (int kk = 0; kk < kc; ++kk) {
+        const float* src =
+            b + static_cast<std::size_t>(pc + kk) * ldb + j0 + jp;
+        float* dst = panel + static_cast<std::size_t>(kk) * kNr;
+        for (int j = 0; j < nr; ++j) dst[j] = src[j];
+        for (int j = nr; j < kNr; ++j) dst[j] = 0.f;
+      }
+    } else {
+      for (int kk = 0; kk < kc; ++kk) {
+        float* dst = panel + static_cast<std::size_t>(kk) * kNr;
+        for (int j = 0; j < kNr; ++j)
+          dst[j] = j < nr
+                       ? b[static_cast<std::size_t>(j0 + jp + j) * ldb +
+                           pc + kk]
+                       : 0.f;
+      }
+    }
+  }
+  ADVP_OBS_COUNT(kGemmPackBytes,
+                 static_cast<std::uint64_t>(kc) * round_up(nw, kNr) *
+                     sizeof(float));
+}
+
+// ---- micro-kernels ---------------------------------------------------------
+//
+// Both kernels compute a full kMr x kNr tile: load C (or zero), then for
+// each kk ascending issue one FMA per accumulator. `ap` advances kMr
+// floats per k step, `bp` kNr floats per k step.
+
+void micro_portable(int kc, const float* ap, const float* bp, float* c,
+                    int ldc, bool zero_init) {
+  float acc[kMr][kNr];
+  for (int r = 0; r < kMr; ++r)
+    for (int j = 0; j < kNr; ++j)
+      acc[r][j] = zero_init ? 0.f : c[static_cast<std::size_t>(r) * ldc + j];
+  for (int kk = 0; kk < kc; ++kk) {
+    const float* brow = bp + static_cast<std::size_t>(kk) * kNr;
+    const float* arow = ap + static_cast<std::size_t>(kk) * kMr;
+    for (int r = 0; r < kMr; ++r) {
+      const float av = arow[r];
+      for (int j = 0; j < kNr; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  for (int r = 0; r < kMr; ++r)
+    for (int j = 0; j < kNr; ++j)
+      c[static_cast<std::size_t>(r) * ldc + j] = acc[r][j];
+}
+
+#ifdef ADVP_GEMM_AVX512
+void micro_avx512(int kc, const float* ap, const float* bp, float* c,
+                  int ldc, bool zero_init) {
+  __m512 acc[kMr][2];
+  for (int r = 0; r < kMr; ++r) {
+    if (zero_init) {
+      acc[r][0] = _mm512_setzero_ps();
+      acc[r][1] = _mm512_setzero_ps();
+    } else {
+      acc[r][0] = _mm512_loadu_ps(c + static_cast<std::size_t>(r) * ldc);
+      acc[r][1] =
+          _mm512_loadu_ps(c + static_cast<std::size_t>(r) * ldc + 16);
+    }
+  }
+  for (int kk = 0; kk < kc; ++kk) {
+    const float* brow = bp + static_cast<std::size_t>(kk) * kNr;
+    const float* arow = ap + static_cast<std::size_t>(kk) * kMr;
+    const __m512 b0 = _mm512_loadu_ps(brow);
+    const __m512 b1 = _mm512_loadu_ps(brow + 16);
+    for (int r = 0; r < kMr; ++r) {
+      const __m512 av = _mm512_set1_ps(arow[r]);
+      acc[r][0] = _mm512_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm512_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < kMr; ++r) {
+    _mm512_storeu_ps(c + static_cast<std::size_t>(r) * ldc, acc[r][0]);
+    _mm512_storeu_ps(c + static_cast<std::size_t>(r) * ldc + 16, acc[r][1]);
+  }
+}
+#endif
+
+#ifdef ADVP_GEMM_AVX2
+void micro_avx2(int kc, const float* ap, const float* bp, float* c, int ldc,
+                bool zero_init) {
+  __m256 acc[kMr][2];
+  for (int r = 0; r < kMr; ++r) {
+    if (zero_init) {
+      acc[r][0] = _mm256_setzero_ps();
+      acc[r][1] = _mm256_setzero_ps();
+    } else {
+      acc[r][0] = _mm256_loadu_ps(c + static_cast<std::size_t>(r) * ldc);
+      acc[r][1] = _mm256_loadu_ps(c + static_cast<std::size_t>(r) * ldc + 8);
+    }
+  }
+  for (int kk = 0; kk < kc; ++kk) {
+    const float* brow = bp + static_cast<std::size_t>(kk) * kNr;
+    const float* arow = ap + static_cast<std::size_t>(kk) * kMr;
+    const __m256 b0 = _mm256_loadu_ps(brow);
+    const __m256 b1 = _mm256_loadu_ps(brow + 8);
+    for (int r = 0; r < kMr; ++r) {
+      const __m256 av = _mm256_broadcast_ss(arow + r);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < kMr; ++r) {
+    _mm256_storeu_ps(c + static_cast<std::size_t>(r) * ldc, acc[r][0]);
+    _mm256_storeu_ps(c + static_cast<std::size_t>(r) * ldc + 8, acc[r][1]);
+  }
+}
+#endif
+
+using MicroFn = void (*)(int, const float*, const float*, float*, int, bool);
+
+MicroFn pick_micro() {
+#if defined(ADVP_GEMM_AVX512)
+  if (!g_force_portable.load(std::memory_order_relaxed)) return micro_avx512;
+#elif defined(ADVP_GEMM_AVX2)
+  if (!g_force_portable.load(std::memory_order_relaxed)) return micro_avx2;
+#endif
+  return micro_portable;
+}
+
+// Runs the micro-kernel on a possibly partial C tile. Edge tiles detour
+// through a stack buffer padded with zeros; padded lanes only ever see
+// zero A rows / zero B columns, so the valid region's bits are unaffected.
+void micro_edge(MicroFn micro, int kc, const float* ap, const float* bp,
+                float* c, int ldc, bool zero_init, int mr, int nr) {
+  if (mr == kMr && nr == kNr) {
+    micro(kc, ap, bp, c, ldc, zero_init);
+    return;
+  }
+  float tile[kMr * kNr];
+  if (zero_init) {
+    std::fill(tile, tile + kMr * kNr, 0.f);
+  } else {
+    for (int r = 0; r < kMr; ++r)
+      for (int j = 0; j < kNr; ++j)
+        tile[r * kNr + j] =
+            (r < mr && j < nr) ? c[static_cast<std::size_t>(r) * ldc + j]
+                               : 0.f;
+  }
+  micro(kc, ap, bp, tile, kNr, false);
+  for (int r = 0; r < mr; ++r)
+    for (int j = 0; j < nr; ++j)
+      c[static_cast<std::size_t>(r) * ldc + j] = tile[r * kNr + j];
+}
+
+}  // namespace
+
+void gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
+          const float* b, int ldb, bool trans_b, float* c, int ldc,
+          bool accumulate) {
+  ADVP_CHECK_MSG(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension");
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate)
+      for (int i = 0; i < m; ++i)
+        std::fill(c + static_cast<std::size_t>(i) * ldc,
+                  c + static_cast<std::size_t>(i) * ldc + n, 0.f);
+    return;
+  }
+  const std::size_t macs =
+      static_cast<std::size_t>(m) * n * static_cast<std::size_t>(k);
+  ADVP_OBS_COUNT(kMatmulFlops, 2 * static_cast<std::uint64_t>(macs));
+  if (macs <= kNaiveMacLimit || n < 8) {
+    naive_gemm(m, n, k, a, lda, trans_a, b, ldb, trans_b, c, ldc, accumulate);
+    return;
+  }
+
+  MicroFn micro = pick_micro();
+
+  ScratchArena& main_arena = ScratchArena::local();
+  ScratchArena::Frame a_frame(main_arena);
+  float* ap = main_arena.alloc_floats(
+      static_cast<std::size_t>(round_up(m, kMr)) * k);
+  pack_a(a, lda, trans_a, m, k, ap);
+
+  // Column stripes: each worker owns disjoint columns of C and packs its
+  // own B panels into its thread-local arena. Stripe geometry is a pure
+  // scheduling choice — every output element's k-accumulation is the same
+  // regardless of where the stripe boundaries fall.
+  const bool fan_out =
+      macs >= kParallelMacLimit && max_workers() > 1 && !in_parallel_region();
+  int stripe_w = kNc;
+  if (fan_out) {
+    const int per_worker =
+        (n + static_cast<int>(max_workers()) - 1) /
+        static_cast<int>(max_workers());
+    stripe_w = std::clamp(round_up(per_worker, kNr), kNr, kNc);
+  }
+  const std::size_t stripes =
+      (static_cast<std::size_t>(n) + stripe_w - 1) / stripe_w;
+
+  auto run_stripe = [&](std::size_t s) {
+    const int j0 = static_cast<int>(s) * stripe_w;
+    const int nw = std::min(stripe_w, n - j0);
+    const int nw_pad = round_up(nw, kNr);
+    ScratchArena& arena = ScratchArena::local();
+    ScratchArena::Frame frame(arena);
+    float* bp = arena.alloc_floats(
+        static_cast<std::size_t>(std::min(kKc, k)) * nw_pad);
+    for (int pc = 0; pc < k; pc += kKc) {
+      const int kc = std::min(kKc, k - pc);
+      pack_b(b, ldb, trans_b, pc, kc, j0, nw, bp);
+      // First k panel initializes C (unless accumulating); later panels
+      // load the running sums back into registers, preserving the
+      // ascending-k accumulation order per element.
+      const bool zero_first = pc == 0 && !accumulate;
+      for (int ic = 0; ic < m; ic += kMc) {
+        const int mc = std::min(kMc, m - ic);
+        for (int jp = 0; jp < nw; jp += kNr) {
+          const float* bpanel =
+              bp + static_cast<std::size_t>(jp / kNr) * kc * kNr;
+          const int nr = std::min(kNr, nw - jp);
+          for (int ir = 0; ir < mc; ir += kMr) {
+            const int row = ic + ir;  // kMc is a multiple of kMr
+            const float* apanel =
+                ap + static_cast<std::size_t>(row / kMr) * kMr * k +
+                static_cast<std::size_t>(pc) * kMr;
+            const int mr = std::min(kMr, m - row);
+            float* cptr = c + static_cast<std::size_t>(row) * ldc + j0 + jp;
+            micro_edge(micro, kc, apanel, bpanel, cptr, ldc, zero_first, mr,
+                       nr);
+          }
+        }
+      }
+    }
+  };
+
+  if (fan_out && stripes > 1)
+    parallel_for(0, stripes, 1, run_stripe);
+  else
+    for (std::size_t s = 0; s < stripes; ++s) run_stripe(s);
+}
+
+void transpose_blocked(const float* src, int m, int n, float* dst) {
+  constexpr int kTile = 32;  // 32x32 float tile: 4 KiB in, 4 KiB out
+  for (int ii = 0; ii < m; ii += kTile) {
+    const int ie = std::min(ii + kTile, m);
+    for (int jj = 0; jj < n; jj += kTile) {
+      const int je = std::min(jj + kTile, n);
+      for (int i = ii; i < ie; ++i) {
+        const float* srow = src + static_cast<std::size_t>(i) * n;
+        for (int j = jj; j < je; ++j)
+          dst[static_cast<std::size_t>(j) * m + i] = srow[j];
+      }
+    }
+  }
+}
+
+const char* gemm_backend() {
+#if defined(ADVP_GEMM_AVX512)
+  if (!g_force_portable.load(std::memory_order_relaxed)) return "avx512";
+#elif defined(ADVP_GEMM_AVX2)
+  if (!g_force_portable.load(std::memory_order_relaxed)) return "avx2";
+#endif
+  return "portable";
+}
+
+namespace gemm_detail {
+void force_portable(bool on) {
+  g_force_portable.store(on, std::memory_order_relaxed);
+}
+bool forcing_portable() {
+  return g_force_portable.load(std::memory_order_relaxed);
+}
+}  // namespace gemm_detail
+
+}  // namespace advp

@@ -1,0 +1,61 @@
+// Blocked, packed single-precision GEMM — the kernel layer under matmul
+// and conv2d.
+//
+// C[m x n] = op(A)[m x k] * op(B)[k x n] (row-major, explicit leading
+// dimensions, optional accumulation into C). The implementation packs A
+// into MR-row panels and B into NR-column panels sized to the cache
+// hierarchy (Mc/Kc blocking), then runs a register-blocked micro-kernel:
+// an intrinsics kernel (AVX-512 when available, else AVX2+FMA) when the
+// build enables ADVP_SIMD on x86, and a plain-C kernel the compiler
+// auto-vectorizes otherwise.
+//
+// Determinism contract (the library's headline guarantee): for every
+// output element, the k-accumulation is one fused multiply-add per k, in
+// ascending k order, starting from C's prior value (or zero). The
+// micro-kernel loads C into its accumulator registers before each Kc
+// panel, so panel blocking never re-associates the sum — results are
+// bit-identical to the straightforward i-k-j loop, for any worker count,
+// any blocking geometry, and with the intrinsics path on or off.
+//
+// Transposed operands are handled inside the packing routines (reads are
+// re-strided while staging panels), so callers never materialize a
+// transposed copy for the sake of a product.
+//
+// Scratch memory (packed panels, edge tiles) comes from the thread-local
+// ScratchArena: the steady state performs zero heap allocations.
+#pragma once
+
+#include <cstddef>
+
+namespace advp {
+
+/// @brief C = op(A) * op(B), optionally accumulating into C.
+/// @param m,n,k Logical GEMM dimensions: op(A) is m x k, op(B) is k x n.
+/// @param a Row-major storage of A. With trans_a == false, element (i,kk)
+///   of op(A) is a[i*lda + kk]; with trans_a == true it is a[kk*lda + i].
+/// @param b Row-major storage of B. With trans_b == false, element (kk,j)
+///   of op(B) is b[kk*ldb + j]; with trans_b == true it is b[j*ldb + kk].
+/// @param c Row-major output, element (i,j) at c[i*ldc + j].
+/// @param accumulate When false C is overwritten; when true the product is
+///   added onto C's existing values (k-order still ascending per element).
+void gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
+          const float* b, int ldb, bool trans_b, float* c, int ldc,
+          bool accumulate = false);
+
+/// @brief Cache-blocked out-of-place transpose: dst[j*m + i] = src[i*n + j]
+/// for an m x n row-major src.
+void transpose_blocked(const float* src, int m, int n, float* dst);
+
+/// @brief Name of the micro-kernel the next gemm() call will run:
+/// "avx512", "avx2", or "portable". Reflects both the build configuration
+/// and the force_portable() test hook.
+const char* gemm_backend();
+
+namespace gemm_detail {
+/// @brief Test hook: forces the portable micro-kernel even in ADVP_SIMD
+/// builds, so one binary can assert the two paths agree bit-for-bit.
+void force_portable(bool on);
+bool forcing_portable();
+}  // namespace gemm_detail
+
+}  // namespace advp

@@ -7,49 +7,18 @@
 #include "core/check.h"
 #include "core/obs.h"
 #include "core/parallel.h"
+#include "core/scratch.h"
+#include "tensor/gemm.h"
 
 namespace advp {
-
-namespace {
-
-// Minimum multiply-accumulate count before matmul fans out: below this the
-// pool dispatch overhead beats the win of splitting a few cheap rows.
-constexpr std::size_t kMatmulParallelFlops = std::size_t{1} << 16;
-
-}  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   ADVP_CHECK_MSG(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 required");
   const int m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
   ADVP_CHECK_MSG(k == k2, "matmul: inner dims mismatch " << k << " vs " << k2);
   Tensor c({m, n});
-  const float* ap = a.data();
-  const float* bp = b.data();
-  float* cp = c.data();
-  // i-k-j loop order: streams through B and C rows, cache friendly. Rows of
-  // C are independent, so the row loop parallelizes with bit-identical
-  // results (each row's accumulation order is unchanged).
-  auto row = [&](std::size_t i) {
-    const float* arow = ap + i * k;
-    float* crow = cp + i * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.f) continue;
-      const float* brow = bp + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  };
-  const std::size_t flops = static_cast<std::size_t>(m) * k * n;
-  ADVP_OBS_COUNT(kMatmulFlops, 2 * static_cast<std::uint64_t>(flops));
-  if (m >= 2 && flops >= kMatmulParallelFlops && max_workers() > 1 &&
-      !in_parallel_region()) {
-    const std::size_t grain =
-        std::max<std::size_t>(1, static_cast<std::size_t>(m) /
-                                     (4 * max_workers()));
-    parallel_for(0, static_cast<std::size_t>(m), grain, row);
-  } else {
-    for (std::size_t i = 0; i < static_cast<std::size_t>(m); ++i) row(i);
-  }
+  gemm(m, n, k, a.data(), k, /*trans_a=*/false, b.data(), n,
+       /*trans_b=*/false, c.data(), n);
   return c;
 }
 
@@ -57,23 +26,28 @@ Tensor transpose(const Tensor& a) {
   ADVP_CHECK_MSG(a.rank() == 2, "transpose: rank-2 required");
   const int m = a.dim(0), n = a.dim(1);
   Tensor t({n, m});
-  for (int i = 0; i < m; ++i)
-    for (int j = 0; j < n; ++j) t.at(j, i) = a.at(i, j);
+  transpose_blocked(a.data(), m, n, t.data());
   return t;
 }
 
 namespace {
 
-// Lowers x [N,Cin,H,W] to columns [Cin*K*K, Ho*Wo] for one batch item.
+// Largest im2col staging buffer the batched forward GEMM will ask the
+// arena for (floats). Batches larger than this are processed in groups.
+constexpr std::size_t kColsBudgetFloats = std::size_t{4} << 20;  // 16 MiB
+
+// Lowers x [Cin,H,W] to columns: row p of the [Cin*K*K, Ho*Wo] column
+// matrix lands at cols[p*cols_ld ...]. `cols_ld` lets several batch items
+// share one wide matrix (each item owns a disjoint Ho*Wo column block).
 void im2col(const float* x, int c_in, int h, int w, const Conv2dSpec& s,
-            float* cols) {
+            float* cols, std::size_t cols_ld) {
   const int ho = s.out_h(h), wo = s.out_w(w);
   const int patch = c_in * s.kernel * s.kernel;
   for (int p = 0; p < patch; ++p) {
     const int c = p / (s.kernel * s.kernel);
     const int ky = (p / s.kernel) % s.kernel;
     const int kx = p % s.kernel;
-    float* out_row = cols + static_cast<std::size_t>(p) * ho * wo;
+    float* out_row = cols + static_cast<std::size_t>(p) * cols_ld;
     for (int oy = 0; oy < ho; ++oy) {
       const int iy = oy * s.stride + ky - s.pad;
       for (int ox = 0; ox < wo; ++ox) {
@@ -125,34 +99,62 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
   ADVP_CHECK_MSG(ho > 0 && wo > 0, "conv2d: output collapses to zero size");
 
   const int patch = c_in * spec.kernel * spec.kernel;
-  Tensor wmat = w.reshape({spec.out_channels, patch});
+  const int pixels = ho * wo;
   Tensor y({n, spec.out_channels, ho, wo});
 
   const std::size_t x_stride = static_cast<std::size_t>(c_in) * h * wd;
   const std::size_t y_stride =
-      static_cast<std::size_t>(spec.out_channels) * ho * wo;
+      static_cast<std::size_t>(spec.out_channels) * pixels;
   // One MAC per (item, out-channel, patch entry, output pixel); the im2col
   // GEMMs below also land in matmul_flops (documented overlap).
   ADVP_OBS_COUNT(kConv2dFlops, 2ull * n * y_stride * patch);
-  // Batch items are independent (disjoint output planes, per-item column
-  // buffer), so the batch loop parallelizes with bit-identical results.
-  // For N == 1 the inner matmul parallelizes over output channels instead.
-  auto item = [&](std::size_t i) {
-    Tensor cols({patch, ho * wo});
-    im2col(x.data() + i * x_stride, c_in, h, wd, spec, cols.data());
-    Tensor yi = matmul(wmat, cols);  // [Cout, Ho*Wo]
-    float* yp = y.data() + i * y_stride;
-    for (int oc = 0; oc < spec.out_channels; ++oc) {
-      const float bias = b[static_cast<std::size_t>(oc)];
-      const float* src = yi.data() + static_cast<std::size_t>(oc) * ho * wo;
-      float* dst = yp + static_cast<std::size_t>(oc) * ho * wo;
-      for (int j = 0; j < ho * wo; ++j) dst[j] = src[j] + bias;
-    }
-  };
-  if (n > 1 && max_workers() > 1 && !in_parallel_region())
-    parallel_for(0, static_cast<std::size_t>(n), item);
-  else
-    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) item(i);
+
+  // The whole batch (in arena-budget groups) is lowered into one wide
+  // column matrix [patch, group*Ho*Wo] and multiplied in a single GEMM:
+  // item columns are disjoint and each output element's k-accumulation is
+  // unchanged, so results are bit-identical to a per-item loop while the
+  // kernel sees one large, well-blocked product. The weight tensor is
+  // already the [Cout, patch] GEMM operand in row-major order.
+  const std::size_t group = std::clamp<std::size_t>(
+      kColsBudgetFloats / (static_cast<std::size_t>(patch) * pixels),
+      std::size_t{1}, static_cast<std::size_t>(n));
+  ScratchArena& arena = ScratchArena::local();
+  for (std::size_t n0 = 0; n0 < static_cast<std::size_t>(n); n0 += group) {
+    const std::size_t gn =
+        std::min(group, static_cast<std::size_t>(n) - n0);
+    const std::size_t wide = gn * pixels;
+    ScratchArena::Frame frame(arena);
+    float* cols = arena.alloc_floats(static_cast<std::size_t>(patch) * wide);
+    float* ybuf = arena.alloc_floats(
+        static_cast<std::size_t>(spec.out_channels) * wide);
+    auto lower = [&](std::size_t i) {
+      im2col(x.data() + (n0 + i) * x_stride, c_in, h, wd, spec,
+             cols + i * pixels, wide);
+    };
+    if (gn > 1 && max_workers() > 1 && !in_parallel_region())
+      parallel_for(0, gn, lower);
+    else
+      for (std::size_t i = 0; i < gn; ++i) lower(i);
+
+    gemm(spec.out_channels, static_cast<int>(wide), patch, w.data(), patch,
+         /*trans_a=*/false, cols, static_cast<int>(wide), /*trans_b=*/false,
+         ybuf, static_cast<int>(wide));
+
+    auto scatter = [&](std::size_t i) {
+      float* yp = y.data() + (n0 + i) * y_stride;
+      for (int oc = 0; oc < spec.out_channels; ++oc) {
+        const float bias = b[static_cast<std::size_t>(oc)];
+        const float* src =
+            ybuf + static_cast<std::size_t>(oc) * wide + i * pixels;
+        float* dst = yp + static_cast<std::size_t>(oc) * pixels;
+        for (int j = 0; j < pixels; ++j) dst[j] = src[j] + bias;
+      }
+    };
+    if (gn > 1 && max_workers() > 1 && !in_parallel_region())
+      parallel_for(0, gn, scatter);
+    else
+      for (std::size_t i = 0; i < gn; ++i) scatter(i);
+  }
   return y;
 }
 
@@ -170,42 +172,50 @@ Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
   g.dw = Tensor({spec.out_channels, c_in, spec.kernel, spec.kernel});
   g.db = Tensor({spec.out_channels});
 
-  Tensor wmat = w.reshape({spec.out_channels, patch});
-  Tensor wmat_t = transpose(wmat);  // [patch, Cout]
   Tensor dwmat({spec.out_channels, patch});
 
+  const int pixels = ho * wo;
   const std::size_t x_stride = static_cast<std::size_t>(c_in) * h * wd;
   const std::size_t y_stride =
-      static_cast<std::size_t>(spec.out_channels) * ho * wo;
+      static_cast<std::size_t>(spec.out_channels) * pixels;
   // dW and dX each cost one forward-sized GEMM per item.
   ADVP_OBS_COUNT(kConv2dFlops, 4ull * n * y_stride * patch);
   // Per-item weight/bias partials computed in parallel (dx planes are
   // disjoint), then reduced on the caller in index order — the same
   // accumulation order as a plain serial loop, so gradients are
-  // bit-identical for any worker count.
+  // bit-identical for any worker count. The transposed operands (cols^T
+  // for dW, W^T for dcols) are handled by the GEMM packing layer, and the
+  // per-item column/dcols buffers come from the worker's scratch arena —
+  // the steady-state loop performs no heap allocations beyond the
+  // returned gradient tensors.
   std::vector<Tensor> dw_part(static_cast<std::size_t>(n));
   std::vector<Tensor> db_part(static_cast<std::size_t>(n));
   auto item = [&](std::size_t i) {
     const float* dyp = dy.data() + i * y_stride;
     Tensor dbi({spec.out_channels});
     for (int oc = 0; oc < spec.out_channels; ++oc) {
-      const float* row = dyp + static_cast<std::size_t>(oc) * ho * wo;
+      const float* row = dyp + static_cast<std::size_t>(oc) * pixels;
       double s = 0.0;
-      for (int j = 0; j < ho * wo; ++j) s += row[j];
+      for (int j = 0; j < pixels; ++j) s += row[j];
       dbi[static_cast<std::size_t>(oc)] = static_cast<float>(s);
     }
     db_part[i] = std::move(dbi);
-    // dW_i = dY_i * cols_i^T
-    Tensor cols({patch, ho * wo});
-    im2col(x.data() + i * x_stride, c_in, h, wd, spec, cols.data());
-    Tensor dyi = Tensor::from_vector(
-        {spec.out_channels, ho * wo},
-        std::vector<float>(dyp, dyp + y_stride));
-    Tensor cols_t = transpose(cols);             // [Ho*Wo, patch]
-    dw_part[i] = matmul(dyi, cols_t);            // [Cout, patch]
-    // dcols = W^T * dY_i, then scatter back to dx_i
-    Tensor dcols = matmul(wmat_t, dyi);          // [patch, Ho*Wo]
-    col2im(dcols.data(), c_in, h, wd, spec, g.dx.data() + i * x_stride);
+    ScratchArena& arena = ScratchArena::local();
+    ScratchArena::Frame frame(arena);
+    float* cols =
+        arena.alloc_floats(static_cast<std::size_t>(patch) * pixels);
+    im2col(x.data() + i * x_stride, c_in, h, wd, spec, cols, pixels);
+    // dW_i = dY_i * cols_i^T  [Cout, patch]
+    Tensor dwi({spec.out_channels, patch});
+    gemm(spec.out_channels, patch, pixels, dyp, pixels, /*trans_a=*/false,
+         cols, pixels, /*trans_b=*/true, dwi.data(), patch);
+    dw_part[i] = std::move(dwi);
+    // dcols = W^T * dY_i  [patch, Ho*Wo], then scatter back to dx_i
+    float* dcols =
+        arena.alloc_floats(static_cast<std::size_t>(patch) * pixels);
+    gemm(patch, pixels, spec.out_channels, w.data(), patch, /*trans_a=*/true,
+         dyp, pixels, /*trans_b=*/false, dcols, pixels);
+    col2im(dcols, c_in, h, wd, spec, g.dx.data() + i * x_stride);
   };
   if (n > 1 && max_workers() > 1 && !in_parallel_region())
     parallel_for(0, static_cast<std::size_t>(n), item);

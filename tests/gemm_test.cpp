@@ -1,0 +1,248 @@
+// Kernel-layer tests: the blocked/packed GEMM against a plain reference
+// across odd and edge shapes, bit-identity between the intrinsics and
+// portable micro-kernels and across worker counts, the blocked transpose,
+// and the scratch arena's reuse (zero steady-state heap growth) and
+// thread-safety guarantees.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "core/check.h"
+#include "core/parallel.h"
+#include "core/scratch.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace advp {
+namespace {
+
+// Reference product: one FMA per (element, k) in ascending k order — the
+// operation sequence the kernel layer promises to preserve exactly.
+std::vector<float> ref_gemm(int m, int n, int k, const float* a, int lda,
+                            bool trans_a, const float* b, int ldb,
+                            bool trans_b) {
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.f);
+  for (int i = 0; i < m; ++i)
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = trans_a ? a[static_cast<std::size_t>(kk) * lda + i]
+                               : a[static_cast<std::size_t>(i) * lda + kk];
+      for (int j = 0; j < n; ++j) {
+        const float bv = trans_b
+                             ? b[static_cast<std::size_t>(j) * ldb + kk]
+                             : b[static_cast<std::size_t>(kk) * ldb + j];
+        c[static_cast<std::size_t>(i) * n + j] += av * bv;
+      }
+    }
+  return c;
+}
+
+// RAII guard for the portable-kernel test hook.
+struct ForcePortable {
+  explicit ForcePortable(bool on) { gemm_detail::force_portable(on); }
+  ~ForcePortable() { gemm_detail::force_portable(false); }
+};
+
+TEST(GemmTest, MatchesReferenceAcrossShapesAndTransposes) {
+  Rng rng(101);
+  const std::vector<int> sizes = {1, 3, 7, 17, 64, 65};
+  for (int m : sizes)
+    for (int k : sizes)
+      for (int n : sizes)
+        for (int tmask = 0; tmask < 4; ++tmask) {
+          const bool ta = tmask & 1, tb = tmask & 2;
+          // Storage shape depends on the trans flag; leading dimension is
+          // the stored row length.
+          Tensor a = Tensor::randn(ta ? std::vector<int>{k, m}
+                                      : std::vector<int>{m, k},
+                                   rng);
+          Tensor b = Tensor::randn(tb ? std::vector<int>{n, k}
+                                      : std::vector<int>{k, n},
+                                   rng);
+          const int lda = ta ? m : k, ldb = tb ? k : n;
+          std::vector<float> want =
+              ref_gemm(m, n, k, a.data(), lda, ta, b.data(), ldb, tb);
+          Tensor c({m, n});
+          gemm(m, n, k, a.data(), lda, ta, b.data(), ldb, tb, c.data(), n);
+          for (std::size_t i = 0; i < c.numel(); ++i)
+            ASSERT_EQ(c[i], want[i])
+                << "m=" << m << " k=" << k << " n=" << n << " ta=" << ta
+                << " tb=" << tb << " at " << i;
+        }
+}
+
+TEST(GemmTest, AccumulateAddsOntoExistingC) {
+  Rng rng(102);
+  const int m = 17, k = 33, n = 65;
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c0 = Tensor::randn({m, n}, rng);
+  Tensor c = c0;
+  gemm(m, n, k, a.data(), k, false, b.data(), n, false, c.data(), n,
+       /*accumulate=*/true);
+  // Accumulation continues the ascending-k FMA chain from C's prior value.
+  std::vector<float> want(c0.data(), c0.data() + c0.numel());
+  for (int i = 0; i < m; ++i)
+    for (int kk = 0; kk < k; ++kk)
+      for (int j = 0; j < n; ++j)
+        want[static_cast<std::size_t>(i) * n + j] +=
+            a.at(i, kk) * b.at(kk, j);
+  for (std::size_t i = 0; i < c.numel(); ++i) ASSERT_EQ(c[i], want[i]);
+}
+
+TEST(GemmTest, PortableAndSimdKernelsBitIdentical) {
+  Rng rng(103);
+  for (const auto& dims : std::vector<std::vector<int>>{
+           {65, 130, 96}, {256, 256, 256}, {6, 17, 300}}) {
+    const int m = dims[0], k = dims[1], n = dims[2];
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+    Tensor c_simd({m, n}), c_port({m, n});
+    gemm(m, n, k, a.data(), k, false, b.data(), n, false, c_simd.data(), n);
+    {
+      ForcePortable guard(true);
+      EXPECT_STREQ(gemm_backend(), "portable");
+      gemm(m, n, k, a.data(), k, false, b.data(), n, false, c_port.data(),
+           n);
+    }
+    for (std::size_t i = 0; i < c_simd.numel(); ++i)
+      ASSERT_EQ(c_simd[i], c_port[i]) << "element " << i;
+  }
+}
+
+TEST(GemmTest, BitIdenticalAcrossWorkerCounts) {
+  Rng rng(104);
+  const int m = 96, k = 200, n = 512;
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c1({m, n});
+  {
+    ScopedMaxWorkers one(1);
+    gemm(m, n, k, a.data(), k, false, b.data(), n, false, c1.data(), n);
+  }
+  for (std::size_t workers : {2, 5, 16}) {
+    ScopedMaxWorkers w(workers);
+    Tensor cw({m, n});
+    gemm(m, n, k, a.data(), k, false, b.data(), n, false, cw.data(), n);
+    for (std::size_t i = 0; i < c1.numel(); ++i)
+      ASSERT_EQ(c1[i], cw[i]) << "workers=" << workers << " element " << i;
+  }
+}
+
+TEST(GemmTest, TransposeBlockedMatchesScalar) {
+  Rng rng(105);
+  for (const auto& dims :
+       std::vector<std::vector<int>>{{1, 1}, {3, 70}, {64, 64}, {65, 33}}) {
+    const int m = dims[0], n = dims[1];
+    Tensor a = Tensor::randn({m, n}, rng);
+    Tensor t = transpose(a);
+    ASSERT_EQ(t.dim(0), n);
+    ASSERT_EQ(t.dim(1), m);
+    for (int i = 0; i < m; ++i)
+      for (int j = 0; j < n; ++j) ASSERT_EQ(t.at(j, i), a.at(i, j));
+  }
+}
+
+// The acceptance criterion the issue pins down: after a warm-up call, the
+// conv2d steady state performs zero heap allocations — every scratch
+// request is served from the retained arena buffer.
+TEST(GemmTest, ConvSteadyStateDoesNotGrowArena) {
+  ScopedMaxWorkers one(1);  // keep all scratch traffic on this thread
+  Rng rng(106);
+  Conv2dSpec spec;
+  spec.in_channels = 4;
+  spec.out_channels = 6;
+  Tensor x = Tensor::randn({3, 4, 16, 16}, rng);
+  Tensor w = Tensor::randn({6, 4, 3, 3}, rng, 0.1f);
+  Tensor b = Tensor::randn({6}, rng, 0.1f);
+  Tensor y = conv2d_forward(x, w, b, spec);
+  Tensor dy = Tensor::randn(y.shape(), rng);
+
+  // Warm-up: the arena may grow (and coalesces once the frames close).
+  conv2d_forward(x, w, b, spec);
+  conv2d_backward(x, w, dy, spec);
+
+  ScratchArena& arena = ScratchArena::local();
+  const std::uint64_t grows = arena.grow_count();
+  const std::uint64_t hits = arena.hit_count();
+  for (int rep = 0; rep < 3; ++rep) {
+    conv2d_forward(x, w, b, spec);
+    conv2d_backward(x, w, dy, spec);
+  }
+  EXPECT_EQ(arena.grow_count(), grows)
+      << "steady-state conv2d allocated from the heap";
+  EXPECT_GT(arena.hit_count(), hits) << "conv2d stopped using the arena";
+}
+
+TEST(ScratchArenaTest, FramesNestAndReleaseLifo) {
+  ScratchArena arena;
+  {
+    ScratchArena::Frame outer(arena);
+    float* p1 = arena.alloc_floats(100);
+    p1[0] = 1.f;
+    p1[99] = 2.f;
+    {
+      ScratchArena::Frame inner(arena);
+      float* p2 = arena.alloc_floats(1000);
+      p2[999] = 3.f;
+      EXPECT_NE(p1, p2);
+    }
+    // Inner frame's memory is reusable, outer allocation untouched.
+    EXPECT_EQ(p1[0], 1.f);
+    EXPECT_EQ(p1[99], 2.f);
+    float* p3 = arena.alloc_floats(1000);
+    p3[0] = 4.f;
+    EXPECT_EQ(p1[99], 2.f);
+  }
+  // After the outermost frame pops, capacity is retained in one chunk.
+  const std::uint64_t grows = arena.grow_count();
+  {
+    ScratchArena::Frame again(arena);
+    float* p = arena.alloc_floats(1100);
+    p[0] = 5.f;
+  }
+  EXPECT_EQ(arena.grow_count(), grows);
+  EXPECT_GE(arena.hit_count(), 1u);
+  arena.release();
+  EXPECT_EQ(arena.capacity_bytes(), 0u);
+}
+
+TEST(ScratchArenaTest, GrowthPreservesLivePointers) {
+  ScratchArena arena;
+  ScratchArena::Frame frame(arena);
+  // First allocation fits the minimum chunk; the second forces a growth
+  // chunk while the first pointer stays live.
+  float* p1 = arena.alloc_floats(1024);
+  for (int i = 0; i < 1024; ++i) p1[i] = static_cast<float>(i);
+  float* p2 = arena.alloc_floats(1u << 20);
+  p2[0] = -1.f;
+  for (int i = 0; i < 1024; ++i)
+    ASSERT_EQ(p1[i], static_cast<float>(i)) << i;
+}
+
+TEST(ScratchArenaTest, ThreadLocalArenasAreIndependent) {
+  // Each pool worker allocates and stamps its own arena memory; overlap
+  // or sharing would corrupt the stamped patterns.
+  ScopedMaxWorkers four(4);
+  std::atomic<int> failures{0};
+  parallel_for(0, 8, [&](std::size_t idx) {
+    ScratchArena& arena = ScratchArena::local();
+    ScratchArena::Frame frame(arena);
+    const float stamp = static_cast<float>(idx + 1);
+    float* p = arena.alloc_floats(4096);
+    for (int i = 0; i < 4096; ++i) p[i] = stamp;
+    for (int i = 0; i < 4096; ++i)
+      if (p[i] != stamp) failures.fetch_add(1);
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ScratchArenaTest, AllocationOutsideFrameThrows) {
+  ScratchArena arena;
+  EXPECT_THROW(arena.alloc_floats(16), CheckError);
+}
+
+}  // namespace
+}  // namespace advp

@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "nn/loss.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace advp {
@@ -54,7 +55,11 @@ double wsum(const Tensor& y, const Tensor& w) {
   return s;
 }
 
-TEST(GradCheckTest, Conv2dInputWeightBias) {
+// Conv gradients flow through the GEMM kernel layer, so the check runs
+// once per micro-kernel backend (intrinsics when built in, plus the
+// portable fallback) — a packing or tiling bug in either would surface as
+// a finite-difference mismatch here.
+void conv2d_gradcheck() {
   Rng rng(2024);
   struct Shape {
     int n, cin, cout, k, h, w, stride, pad;
@@ -88,6 +93,14 @@ TEST(GradCheckTest, Conv2dInputWeightBias) {
     EXPECT_LT(max_fd_error(w, g.dw, loss, eps), kTol) << "dw";
     EXPECT_LT(max_fd_error(b, g.db, loss, eps), kTol) << "db";
   }
+}
+
+TEST(GradCheckTest, Conv2dInputWeightBias) { conv2d_gradcheck(); }
+
+TEST(GradCheckTest, Conv2dInputWeightBiasPortableKernel) {
+  gemm_detail::force_portable(true);
+  conv2d_gradcheck();
+  gemm_detail::force_portable(false);
 }
 
 TEST(GradCheckTest, MatmulBothArguments) {

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Compares a fresh bench/micro_gemm run against the committed baseline.
+
+Usage: build/bench/micro_gemm > fresh.json
+       python3 tools/check_gemm_perf.py fresh.json [BENCH_gemm.json]
+
+The comparison is on the *speedup* column (blocked kernel GFLOP/s over the
+seed i-k-j matmul GFLOP/s, measured in the same process on the same
+machine). Absolute GFLOP/s varies wildly across CI runners and is not
+checked; the blocked-vs-seed ratio is the portable signal. A shape fails
+when its fresh speedup drops more than TOLERANCE below baseline — generous
+on purpose, this is a smoke check against large kernel regressions, not a
+microbenchmark gate.
+
+Also asserts `identical: true` for every shape: the blocked kernel must
+stay bit-identical to the seed loop, on any runner. Exit code 1 on any
+failure.
+"""
+import json
+import sys
+
+TOLERANCE = 0.30  # fresh speedup may be up to 30% below baseline
+
+
+def load_shapes(path):
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    # BENCH_gemm.json nests the shape list; micro_gemm emits it at top level.
+    shapes = data.get("micro_gemm", data).get("shapes", [])
+    return {s["name"]: s for s in shapes}
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    fresh = load_shapes(sys.argv[1])
+    base = load_shapes(sys.argv[2] if len(sys.argv) > 2 else "BENCH_gemm.json")
+    if not fresh or not base:
+        print("error: empty shape list in input", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for name, b in sorted(base.items()):
+        f = fresh.get(name)
+        if f is None:
+            print(f"FAIL {name}: missing from fresh run")
+            failures += 1
+            continue
+        if not f.get("identical", False):
+            print(f"FAIL {name}: blocked kernel not bit-identical to seed")
+            failures += 1
+            continue
+        floor = b["speedup"] * (1.0 - TOLERANCE)
+        status = "ok" if f["speedup"] >= floor else "FAIL"
+        print(
+            f"{status:4} {name}: speedup {f['speedup']:.2f} "
+            f"(baseline {b['speedup']:.2f}, floor {floor:.2f})"
+        )
+        if status == "FAIL":
+            failures += 1
+
+    if failures:
+        print(f"{failures} shape(s) regressed beyond {TOLERANCE:.0%} tolerance")
+        return 1
+    print("perf smoke check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
