@@ -15,6 +15,15 @@
 // tools/check_gemm_perf.py compares the speedup column against the
 // committed BENCH_gemm.json baseline in CI (GFLOP/s is hardware-bound;
 // the blocked-vs-seed ratio is the portable signal).
+//
+// Two more sections cover the inference fast path, both gated on
+// intra-run ratios (also machine-portable):
+//  - "fused": gemm with the bias+activation epilogue versus the replaced
+//    pipeline (gemm into a staging buffer, bias scatter, activation pass)
+//    — `fused_speedup` must clear the 1.15x floor in CI;
+//  - "warm_cache": a Linear-like shape with the weight operand served
+//    from a pack-once cache slot — `pack_bytes_reduction` (warm-call
+//    gemm_pack_bytes over cold) must clear 0.80.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -132,6 +141,131 @@ int main() {
     run.manifest().set(std::string(s.name) + "_gflops", blk_gflops);
     run.manifest().set(std::string(s.name) + "_speedup",
                        blk_gflops / seed_gflops);
+  }
+
+  // ---- fused epilogue vs separate passes -----------------------------------
+  // Unfused mirrors the replaced conv path exactly: GEMM into a staging
+  // buffer, bias scatter into the output, activation mapped into a fresh
+  // buffer (what conv2d_forward + ReLU::forward did before fusion).
+  std::printf("  ],\n  \"fused\": [\n");
+  const std::vector<ShapeSpec> fused_shapes = {
+      {"fused_yolo_conv1_relu", 16, 27, 8192},
+      {"fused_distnet_conv1_relu", 12, 27, 16384},
+  };
+  for (std::size_t si = 0; si < fused_shapes.size(); ++si) {
+    const ShapeSpec& s = fused_shapes[si];
+    const std::size_t mn = static_cast<std::size_t>(s.m) * s.n;
+    Tensor a = Tensor::randn({s.m, s.k}, rng);
+    Tensor b = Tensor::randn({s.k, s.n}, rng);
+    Tensor bias = Tensor::randn({s.m}, rng);
+    Tensor c_unf({s.m, s.n}), act_unf({s.m, s.n}), c_fus({s.m, s.n});
+    GemmEpilogue ep;
+    ep.bias = bias.data();
+    ep.act = Act::kReluLeaky;
+    GemmExtra extra;
+    extra.epilogue = &ep;
+    const double macs = static_cast<double>(s.m) * s.k * s.n;
+    const int reps = std::clamp(static_cast<int>(2e8 / macs), 5, 60);
+    const float slope = 0.f;
+    double unf_ms, fus_ms;
+    {
+      ScopedMaxWorkers one(1);
+      unf_ms = best_ms(reps, [&] {
+        ScratchArena& arena = ScratchArena::local();
+        ScratchArena::Frame frame(arena);
+        float* ybuf = arena.alloc_floats(mn);
+        gemm(s.m, s.n, s.k, a.data(), s.k, false, b.data(), s.n, false,
+             ybuf, s.n);
+        for (int i = 0; i < s.m; ++i) {
+          const float bv = bias[static_cast<std::size_t>(i)];
+          const float* src = ybuf + static_cast<std::size_t>(i) * s.n;
+          float* dst = c_unf.data() + static_cast<std::size_t>(i) * s.n;
+          for (int j = 0; j < s.n; ++j) dst[j] = src[j] + bv;
+        }
+        const float* src = c_unf.data();
+        float* dst = act_unf.data();
+        for (std::size_t idx = 0; idx < mn; ++idx) {
+          const float v = src[idx];
+          dst[idx] = v > 0.f ? v : slope * v;
+        }
+      });
+      fus_ms = best_ms(reps, [&] {
+        gemm(s.m, s.n, s.k, a.data(), s.k, false, b.data(), s.n, false,
+             c_fus.data(), s.n, /*accumulate=*/false, extra);
+      });
+    }
+    bool identical = true;
+    for (std::size_t i = 0; i < mn && identical; ++i)
+      identical = act_unf[i] == c_fus[i];
+    const double fused_speedup = unf_ms / fus_ms;
+    std::printf(
+        "    {\"name\": \"%s\", \"m\": %d, \"k\": %d, \"n\": %d, "
+        "\"unfused_ms\": %.4f, \"fused_ms\": %.4f, "
+        "\"fused_speedup\": %.2f, \"identical\": %s}%s\n",
+        s.name, s.m, s.k, s.n, unf_ms, fus_ms, fused_speedup,
+        identical ? "true" : "false",
+        si + 1 < fused_shapes.size() ? "," : "");
+    run.manifest().set(std::string(s.name) + "_speedup", fused_speedup);
+  }
+
+  // ---- pack-once weight cache ----------------------------------------------
+  // Linear-like shapes (weights are the wide B operand) with a cache slot:
+  // warm calls repack only the activations, so the staged pack bytes per
+  // call collapse by the B-share of the total.
+  std::printf("  ],\n  \"warm_cache\": [\n");
+  const std::vector<ShapeSpec> warm_shapes = {
+      {"warm_distnet_linear_b2", 2, 3456, 48},
+      {"warm_distnet_linear_b1", 1, 3456, 48},
+  };
+  for (std::size_t si = 0; si < warm_shapes.size(); ++si) {
+    const ShapeSpec& s = warm_shapes[si];
+    Tensor a = Tensor::randn({s.m, s.k}, rng);
+    Tensor b = Tensor::randn({s.n, s.k}, rng);  // stored [out,in], like W
+    Tensor c_cold({s.m, s.n}), c_warm({s.m, s.n});
+    GemmCacheSlot slot;
+    GemmExtra extra;
+    extra.b_cache = &slot;
+    auto call = [&](float* c) {
+      gemm(s.m, s.n, s.k, a.data(), s.k, false, b.data(), s.k,
+           /*trans_b=*/true, c, s.n, /*accumulate=*/false, extra);
+    };
+    const double macs = static_cast<double>(s.m) * s.k * s.n;
+    const int reps = std::clamp(static_cast<int>(2e8 / macs), 20, 400);
+    double cold_ms, warm_ms;
+    std::uint64_t cold_bytes, warm_bytes;
+    {
+      ScopedMaxWorkers one(1);
+      std::uint64_t mark = obs::counter_value(obs::Counter::kGemmPackBytes);
+      slot.invalidate();
+      call(c_cold.data());
+      cold_bytes = obs::counter_value(obs::Counter::kGemmPackBytes) - mark;
+      mark = obs::counter_value(obs::Counter::kGemmPackBytes);
+      call(c_warm.data());
+      warm_bytes = obs::counter_value(obs::Counter::kGemmPackBytes) - mark;
+      cold_ms = best_ms(reps, [&] {
+        slot.invalidate();  // force a repack: every timed call is cold
+        call(c_cold.data());
+      });
+      warm_ms = best_ms(reps, [&] { call(c_warm.data()); });
+    }
+    bool identical = true;
+    for (std::size_t i = 0; i < c_cold.numel() && identical; ++i)
+      identical = c_cold[i] == c_warm[i];
+    const double reduction =
+        cold_bytes > 0
+            ? 1.0 - static_cast<double>(warm_bytes) / cold_bytes
+            : 0.0;
+    std::printf(
+        "    {\"name\": \"%s\", \"m\": %d, \"k\": %d, \"n\": %d, "
+        "\"cold_ms\": %.4f, \"warm_ms\": %.4f, \"warm_speedup\": %.2f, "
+        "\"cold_pack_bytes\": %llu, \"warm_pack_bytes\": %llu, "
+        "\"pack_bytes_reduction\": %.3f, \"identical\": %s}%s\n",
+        s.name, s.m, s.k, s.n, cold_ms, warm_ms, cold_ms / warm_ms,
+        static_cast<unsigned long long>(cold_bytes),
+        static_cast<unsigned long long>(warm_bytes), reduction,
+        identical ? "true" : "false",
+        si + 1 < warm_shapes.size() ? "," : "");
+    run.manifest().set(std::string(s.name) + "_pack_reduction", reduction);
   }
   std::printf("  ]\n}\n");
   return 0;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "image/image.h"
 #include "tensor/tensor.h"
@@ -30,6 +31,9 @@ struct LossGrad {
 using GradOracle = std::function<LossGrad(const Tensor& x)>;
 /// @brief Black-box oracle: scalar score to descend (no gradients).
 using ScoreOracle = std::function<float(const Tensor& x)>;
+/// @brief Batched black-box oracle: per-item scores for an [N,3,H,W]
+/// batch in one forward pass. Each item still counts as one query.
+using BatchScoreOracle = std::function<std::vector<float>(const Tensor& x)>;
 
 /// @brief Builds a {0,1} mask tensor of shape [1,3,h,w] covering `roi`.
 /// @param h Image height in pixels.

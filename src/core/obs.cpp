@@ -134,6 +134,8 @@ const char* counter_name(Counter c) {
     case Counter::kGemmPackBytes: return "gemm_pack_bytes";
     case Counter::kScratchHits: return "scratch_hits";
     case Counter::kScratchGrows: return "scratch_grows";
+    case Counter::kPackCacheHits: return "pack_cache_hits";
+    case Counter::kPackCacheMisses: return "pack_cache_misses";
     case Counter::kCount: break;
   }
   return "?";

@@ -83,6 +83,8 @@ enum class Counter : int {
   kGemmPackBytes,       ///< bytes staged into packed GEMM A/B panels
   kScratchHits,         ///< scratch-arena allocations served without heap
   kScratchGrows,        ///< scratch-arena heap growth/coalesce events
+  kPackCacheHits,       ///< GEMM operand packs reused from a cache slot
+  kPackCacheMisses,     ///< GEMM cache slots (re)packed from source
   kCount
 };
 

@@ -24,6 +24,41 @@ void chunk_delete(unsigned char* p) {
 
 }  // namespace
 
+AlignedBuffer::~AlignedBuffer() { reset(); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(other.data_), size_(other.size_), capacity_(other.capacity_) {
+  other.data_ = nullptr;
+  other.size_ = other.capacity_ = 0;
+}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    other.data_ = nullptr;
+    other.size_ = other.capacity_ = 0;
+  }
+  return *this;
+}
+
+void AlignedBuffer::resize_floats(std::size_t n) {
+  if (n > capacity_) {
+    reset();
+    data_ = reinterpret_cast<float*>(chunk_new(n * sizeof(float)));
+    capacity_ = n;
+  }
+  size_ = n;
+}
+
+void AlignedBuffer::reset() {
+  if (data_) chunk_delete(reinterpret_cast<unsigned char*>(data_));
+  data_ = nullptr;
+  size_ = capacity_ = 0;
+}
+
 ScratchArena::~ScratchArena() {
   for (Chunk& c : chunks_) chunk_delete(c.data);
 }

@@ -32,6 +32,36 @@
 
 namespace advp {
 
+/// Owner-managed 64-byte-aligned float buffer for long-lived kernel state
+/// (notably the pack cache's retained weight panels). Unlike arena slices
+/// its lifetime is tied to its owner, not a Frame; unlike std::vector it
+/// guarantees SIMD-friendly alignment and never copies contents on resize
+/// (resize discards — callers always refill after growing).
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  ~AlignedBuffer();
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  /// @brief Ensures capacity for `n` floats. Contents are discarded and
+  /// left uninitialized; shrinking requests keep the existing storage.
+  void resize_floats(std::size_t n);
+  /// @brief Frees the backing storage.
+  void reset();
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  std::size_t size_floats() const { return size_; }
+
+ private:
+  float* data_ = nullptr;
+  std::size_t size_ = 0;      // logical floats requested
+  std::size_t capacity_ = 0;  // floats actually allocated
+};
+
 class ScratchArena {
  public:
   ScratchArena() = default;

@@ -100,7 +100,13 @@ Image attack_sign_scene(const data::SignScene& scene, AttackKind kind,
       attacks::SimbaParams p;
       p.eps = params.simba_eps;
       p.max_queries = params.simba_queries;
-      return Image::from_batch(attacks::simba(x, p, score, rng).x_adv, 0);
+      attacks::BatchScoreOracle batch_score;
+      if (params.simba_batched)
+        batch_score = [&victim, &scene](const Tensor& xx) {
+          return victim.objectness_scores(xx, scene.stop_signs);
+        };
+      return Image::from_batch(
+          attacks::simba(x, p, score, rng, Tensor(), batch_score).x_adv, 0);
     }
   }
   return scene.image;

@@ -34,6 +34,10 @@ struct SignAttackParams {
   float rp2_delta_max = 0.15f;
   int simba_queries = 100;
   float simba_eps = 0.12f;
+  /// Evaluate SimBA's +/-eps candidate pair as one batched forward. Off by
+  /// default: batching spends both queries every round, shifting the
+  /// budget trajectory (and so the recorded goldens) versus sequential.
+  bool simba_batched = false;
 };
 
 struct DrivingAttackParams {

@@ -49,6 +49,9 @@ Tensor DistNet::forward_normalized(const Tensor& batch, bool train) {
 }
 
 std::vector<float> DistNet::predict(const Tensor& batch) {
+  // Forward-only: loss_backward/prediction_grad never route through here,
+  // so layers may skip their caches and fuse conv+BN+activation.
+  nn::InferenceModeScope inference;
   Tensor p = forward_normalized(batch, /*train=*/false);
   std::vector<float> out(static_cast<std::size_t>(p.dim(0)));
   for (int i = 0; i < p.dim(0); ++i)

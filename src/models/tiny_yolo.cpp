@@ -49,6 +49,9 @@ std::vector<std::vector<Detection>> TinyYolo::detect(const Tensor& batch,
                                                      float conf_threshold) {
   const float thr =
       conf_threshold < 0.f ? config_.conf_threshold : conf_threshold;
+  // Forward-only: no backward follows a detect() call, so the layers may
+  // skip their caches and take the fused inference path.
+  nn::InferenceModeScope inference;
   Tensor raw = forward_raw(batch, /*train=*/false);
   const int n = raw.dim(0), g = config_.grid;
   const float cell = static_cast<float>(config_.img_size) / g;
@@ -161,6 +164,7 @@ InputLossGrad TinyYolo::loss_backward(
 float TinyYolo::objectness_score(
     const Tensor& batch, const std::vector<std::vector<Box>>& targets) {
   const int n = batch.dim(0), g = config_.grid;
+  nn::InferenceModeScope inference;
   Tensor raw = forward_raw(batch, /*train=*/false);
   Tensor obj_target, pos_mask;
   std::vector<std::vector<std::array<float, 4>>> box_t;
@@ -172,6 +176,25 @@ float TinyYolo::objectness_score(
         if (pos_mask.at(b, 0, i, j) > 0.f)
           score += sigmoidf(raw.at(b, 0, i, j));
   return score;
+}
+
+std::vector<float> TinyYolo::objectness_scores(
+    const Tensor& batch, const std::vector<Box>& targets) {
+  const int n = batch.dim(0), g = config_.grid;
+  nn::InferenceModeScope inference;
+  Tensor raw = forward_raw(batch, /*train=*/false);
+  Tensor obj_target, pos_mask;
+  std::vector<std::vector<std::array<float, 4>>> box_t;
+  build_targets(std::vector<std::vector<Box>>(static_cast<std::size_t>(n),
+                                              targets),
+                n, &obj_target, &pos_mask, &box_t);
+  std::vector<float> scores(static_cast<std::size_t>(n), 0.f);
+  for (int b = 0; b < n; ++b)
+    for (int i = 0; i < g; ++i)
+      for (int j = 0; j < g; ++j)
+        if (pos_mask.at(b, 0, i, j) > 0.f)
+          scores[static_cast<std::size_t>(b)] += sigmoidf(raw.at(b, 0, i, j));
+  return scores;
 }
 
 std::vector<nn::Param*> TinyYolo::params() {

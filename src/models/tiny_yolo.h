@@ -70,6 +70,12 @@ class TinyYolo {
   float objectness_score(const Tensor& batch,
                          const std::vector<std::vector<Box>>& targets);
 
+  /// Per-item objectness scores for a batch sharing one target set: one
+  /// forward pass, entry b equal to objectness_score on image b alone.
+  /// Lets black-box attacks evaluate several candidates per query round.
+  std::vector<float> objectness_scores(const Tensor& batch,
+                                       const std::vector<Box>& targets);
+
   nn::Sequential& backbone() { return *backbone_; }
   nn::Module& head() { return *head_; }
   const TinyYoloConfig& config() const { return config_; }

@@ -7,6 +7,7 @@
 #include "core/obs.h"
 #include "nn/optim.h"
 #include "nn/serialize.h"
+#include "tensor/gemm.h"
 
 namespace advp::models {
 
@@ -18,6 +19,9 @@ void copy_params(const std::vector<nn::Param*>& src,
                    "copy_params: shape mismatch at " << src[i]->name);
     dst[i]->value = src[i]->value;
   }
+  // Tensor assignment may reuse the destination's heap allocation, so a
+  // stale pack keyed on the same pointer must not survive the copy.
+  bump_weight_generation();
 }
 
 TinyYolo clone_detector(TinyYolo& src) {

@@ -23,14 +23,43 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
                            in_channels * kernel * kernel, rng)),
       b_("conv.b", Tensor({out_channels})) {}
 
-Tensor Conv2d::forward(const Tensor& x, bool) {
-  x_cache_ = x;
-  return conv2d_forward(x, w_.value, b_.value, spec_);
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  if (train || !InferenceModeScope::active()) x_cache_ = x;
+  // The weight operand's packing is always served through the layer's
+  // cache slot: optimizer steps bump the weight generation, so training
+  // repacks exactly when the weights actually changed.
+  ConvFusion f;
+  f.weight_cache = &wpack_fwd_;
+  return conv2d_forward(x, w_.value, b_.value, spec_, &f);
+}
+
+Tensor Conv2d::forward_inference(const Tensor& x, BatchNorm2d* bn, Act act,
+                                 float slope) {
+  ConvFusion f;
+  f.weight_cache = &wpack_fwd_;
+  std::vector<float> inv_std;
+  if (bn) {
+    // Eval-mode BN is a per-channel affine fold. inv_std is recomputed
+    // with the exact expression BatchNorm2d::forward uses, so the fused
+    // output is bit-identical and always reflects the current buffers.
+    const Tensor& var = bn->running_var();
+    inv_std.resize(static_cast<std::size_t>(spec_.out_channels));
+    for (int cc = 0; cc < spec_.out_channels; ++cc)
+      inv_std[static_cast<std::size_t>(cc)] =
+          1.f / std::sqrt(var[static_cast<std::size_t>(cc)] + bn->eps());
+    f.bn_mean = bn->running_mean().data();
+    f.bn_inv_std = inv_std.data();
+    f.bn_gamma = bn->gamma().data();
+    f.bn_beta = bn->beta().data();
+  }
+  f.act = act;
+  f.act_slope = slope;
+  return conv2d_forward(x, w_.value, b_.value, spec_, &f);
 }
 
 Tensor Conv2d::backward(const Tensor& dy) {
   ADVP_CHECK_MSG(!x_cache_.empty(), "Conv2d::backward before forward");
-  Conv2dGrads g = conv2d_backward(x_cache_, w_.value, dy, spec_);
+  Conv2dGrads g = conv2d_backward(x_cache_, w_.value, dy, spec_, &wpack_bwd_);
   w_.grad += g.dw;
   b_.grad += g.db;
   return std::move(g.dx);
@@ -49,17 +78,40 @@ Linear::Linear(int in_features, int out_features, Rng& rng)
       w_("linear.w", he_init({out_features, in_features}, in_features, rng)),
       b_("linear.b", Tensor({out_features})) {}
 
-Tensor Linear::forward(const Tensor& x, bool) {
+Tensor Linear::forward(const Tensor& x, bool train) {
   ADVP_CHECK_MSG(x.rank() == 2 && x.dim(1) == in_,
                  "Linear: expected [N," << in_ << "]");
-  x_cache_ = x;
+  if (train || !InferenceModeScope::active()) x_cache_ = x;
   // y = x W^T: the kernel layer reads W transposed while packing, so no
-  // transposed copy of the weights is materialized per forward pass.
+  // transposed copy of the weights is materialized per forward pass. The
+  // weights are the GEMM's B operand; their packing persists in the
+  // layer's cache slot across calls.
   Tensor y({x.dim(0), out_});
+  GemmExtra extra;
+  extra.b_cache = &wpack_fwd_;
   gemm(x.dim(0), out_, in_, x.data(), in_, /*trans_a=*/false,
-       w_.value.data(), in_, /*trans_b=*/true, y.data(), out_);
+       w_.value.data(), in_, /*trans_b=*/true, y.data(), out_,
+       /*accumulate=*/false, extra);
   for (int i = 0; i < y.dim(0); ++i)
     for (int j = 0; j < out_; ++j) y.at(i, j) += b_.value[static_cast<std::size_t>(j)];
+  return y;
+}
+
+Tensor Linear::forward_inference(const Tensor& x, Act act, float slope) {
+  ADVP_CHECK_MSG(x.rank() == 2 && x.dim(1) == in_,
+                 "Linear: expected [N," << in_ << "]");
+  Tensor y({x.dim(0), out_});
+  GemmEpilogue ep;
+  ep.bias = b_.value.data();
+  ep.bias_per_col = true;  // output columns are features
+  ep.act = act;
+  ep.slope = slope;
+  GemmExtra extra;
+  extra.b_cache = &wpack_fwd_;
+  extra.epilogue = &ep;
+  gemm(x.dim(0), out_, in_, x.data(), in_, /*trans_a=*/false,
+       w_.value.data(), in_, /*trans_b=*/true, y.data(), out_,
+       /*accumulate=*/false, extra);
   return y;
 }
 
@@ -73,7 +125,14 @@ Tensor Linear::backward(const Tensor& dy) {
   w_.grad += dw;
   for (int i = 0; i < dy.dim(0); ++i)
     for (int j = 0; j < out_; ++j) b_.grad[static_cast<std::size_t>(j)] += dy.at(i, j);
-  return matmul(dy, w_.value);
+  // dx = dy W — the weights are the dX GEMM's B operand; reuse packing.
+  Tensor dx({dy.dim(0), in_});
+  GemmExtra extra;
+  extra.b_cache = &wpack_bwd_;
+  gemm(dy.dim(0), in_, out_, dy.data(), out_, /*trans_a=*/false,
+       w_.value.data(), in_, /*trans_b=*/false, dx.data(), in_,
+       /*accumulate=*/false, extra);
+  return dx;
 }
 
 void Linear::collect_params(std::vector<Param*>& out) {
@@ -83,8 +142,8 @@ void Linear::collect_params(std::vector<Param*>& out) {
 
 // ---- activations ------------------------------------------------------------
 
-Tensor ReLU::forward(const Tensor& x, bool) {
-  x_cache_ = x;
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  if (train || !InferenceModeScope::active()) x_cache_ = x;
   const float s = slope_;
   return x.map([s](float v) { return v > 0.f ? v : s * v; });
 }
@@ -97,8 +156,8 @@ Tensor ReLU::backward(const Tensor& dy) {
   return dx;
 }
 
-Tensor SiLU::forward(const Tensor& x, bool) {
-  x_cache_ = x;
+Tensor SiLU::forward(const Tensor& x, bool train) {
+  if (train || !InferenceModeScope::active()) x_cache_ = x;
   return x.map([](float v) { return v * sigmoidf(v); });
 }
 
@@ -200,7 +259,8 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
         1.f / std::sqrt(var[static_cast<std::size_t>(cc)] + eps_);
 
   Tensor y(x.shape());
-  xhat_cache_ = Tensor(x.shape());
+  const bool cache = train || !InferenceModeScope::active();
+  if (cache) xhat_cache_ = Tensor(x.shape());
   for (int i = 0; i < n; ++i)
     for (int cc = 0; cc < c; ++cc) {
       const float m = mean[static_cast<std::size_t>(cc)];
@@ -208,10 +268,17 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
       const float g = gamma_.value[static_cast<std::size_t>(cc)];
       const float bt = beta_.value[static_cast<std::size_t>(cc)];
       const std::size_t base = (static_cast<std::size_t>(i) * c + cc) * plane;
-      for (std::size_t j = 0; j < plane; ++j) {
-        const float xh = (x[base + j] - m) * is;
-        xhat_cache_[base + j] = xh;
-        y[base + j] = g * xh + bt;
+      if (cache) {
+        for (std::size_t j = 0; j < plane; ++j) {
+          const float xh = (x[base + j] - m) * is;
+          xhat_cache_[base + j] = xh;
+          y[base + j] = g * xh + bt;
+        }
+      } else {
+        for (std::size_t j = 0; j < plane; ++j) {
+          const float xh = (x[base + j] - m) * is;
+          y[base + j] = g * xh + bt;
+        }
       }
     }
   train_cached_ = train;
@@ -290,8 +357,53 @@ Tensor Dropout::backward(const Tensor& dy) {
 // ---- Sequential ---------------------------------------------------------------
 
 Tensor Sequential::forward(const Tensor& x, bool train) {
+  if (!train && InferenceModeScope::active()) return forward_fused(x);
   Tensor h = x;
   for (auto& m : children_) h = m->forward(h, train);
+  return h;
+}
+
+Tensor Sequential::forward_fused(const Tensor& x) {
+  Tensor h = x;
+  const std::size_t n = children_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (auto* conv = dynamic_cast<Conv2d*>(children_[i].get())) {
+      std::size_t next = i + 1;
+      BatchNorm2d* bn = next < n
+                            ? dynamic_cast<BatchNorm2d*>(children_[next].get())
+                            : nullptr;
+      if (bn) ++next;
+      Act act = Act::kNone;
+      float slope = 0.f;
+      if (next < n) {
+        if (auto* relu = dynamic_cast<ReLU*>(children_[next].get())) {
+          act = Act::kReluLeaky;
+          slope = relu->slope();
+          ++next;
+        } else if (dynamic_cast<SiLU*>(children_[next].get())) {
+          act = Act::kSilu;
+          ++next;
+        }
+      }
+      h = conv->forward_inference(h, bn, act, slope);
+      i = next - 1;
+      continue;
+    }
+    if (auto* lin = dynamic_cast<Linear*>(children_[i].get())) {
+      Act act = Act::kNone;
+      float slope = 0.f;
+      if (i + 1 < n) {
+        if (auto* relu = dynamic_cast<ReLU*>(children_[i + 1].get())) {
+          act = Act::kReluLeaky;
+          slope = relu->slope();
+          ++i;
+        }
+      }
+      h = lin->forward_inference(h, act, slope);
+      continue;
+    }
+    h = children_[i]->forward(h, /*train=*/false);
+  }
   return h;
 }
 

@@ -10,6 +10,8 @@
 
 namespace advp::nn {
 
+class BatchNorm2d;
+
 /// 2-D convolution (square kernel). He-initialized.
 class Conv2d : public Module {
  public:
@@ -20,6 +22,13 @@ class Conv2d : public Module {
   Tensor backward(const Tensor& dy) override;
   void collect_params(std::vector<Param*>& out) override;
 
+  /// Inference fast path: conv with the bias (plus an optional eval-BN
+  /// fold and activation) fused into the GEMM epilogue, packed weights
+  /// served from this layer's cache slots, and no backward caching.
+  /// Bit-identical to forward + BatchNorm2d + activation in eval mode.
+  Tensor forward_inference(const Tensor& x, BatchNorm2d* bn, Act act,
+                           float slope);
+
   const Conv2dSpec& spec() const { return spec_; }
   Param& weight() { return w_; }
   Param& bias() { return b_; }
@@ -28,6 +37,8 @@ class Conv2d : public Module {
   Conv2dSpec spec_;
   Param w_, b_;
   Tensor x_cache_;
+  GemmCacheSlot wpack_fwd_;  // forward weight panels [Cout, patch]
+  GemmCacheSlot wpack_bwd_;  // transposed weight panels of the dX GEMM
 };
 
 /// Fully-connected layer on rank-2 input [N, in].
@@ -39,6 +50,10 @@ class Linear : public Module {
   Tensor backward(const Tensor& dy) override;
   void collect_params(std::vector<Param*>& out) override;
 
+  /// Inference fast path: bias (+ optional activation) fused into the
+  /// GEMM epilogue, cached packed weights, no backward caching.
+  Tensor forward_inference(const Tensor& x, Act act, float slope);
+
   Param& weight() { return w_; }
   Param& bias() { return b_; }
 
@@ -46,6 +61,8 @@ class Linear : public Module {
   int in_ = 0, out_ = 0;
   Param w_, b_;  // w: [out, in]
   Tensor x_cache_;
+  GemmCacheSlot wpack_fwd_;  // W^T as the forward GEMM's B operand
+  GemmCacheSlot wpack_bwd_;  // W as the dX GEMM's B operand
 };
 
 /// ReLU (slope 0) or LeakyReLU (slope > 0).
@@ -54,6 +71,8 @@ class ReLU : public Module {
   explicit ReLU(float negative_slope = 0.f) : slope_(negative_slope) {}
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& dy) override;
+
+  float slope() const { return slope_; }
 
  private:
   float slope_;
@@ -124,6 +143,9 @@ class BatchNorm2d : public Module {
 
   Tensor& running_mean() { return running_mean_.value; }
   Tensor& running_var() { return running_var_.value; }
+  Tensor& gamma() { return gamma_.value; }
+  Tensor& beta() { return beta_.value; }
+  float eps() const { return eps_; }
 
  private:
   int channels_;
@@ -174,6 +196,12 @@ class Sequential : public Module {
   Module& child(std::size_t i) { return *children_[i]; }
 
  private:
+  /// Inference walk: pattern-matches Conv2d [+BatchNorm2d] [+ReLU|SiLU]
+  /// and Linear [+ReLU] runs onto the layers' fused fast paths. Taken by
+  /// forward() when an InferenceModeScope is active and train is false;
+  /// bit-identical to the plain child-by-child walk.
+  Tensor forward_fused(const Tensor& x);
+
   std::vector<ModulePtr> children_;
 };
 

@@ -15,6 +15,28 @@
 
 namespace advp::nn {
 
+namespace detail {
+inline thread_local int g_inference_depth = 0;
+}  // namespace detail
+
+/// RAII marker for forward-only inference: while a scope is active on the
+/// calling thread, layers skip their backward caches and Sequential takes
+/// the fused Conv+BN+activation fast path. Entered by the models'
+/// forward-only entry points (TinyYolo::detect / objectness_score,
+/// DistNet::predict) — never around forwards that a backward may follow
+/// (white-box attack oracles backward through eval-mode forwards, so a
+/// bare `train == false` is NOT a safe cache-skip signal).
+class InferenceModeScope {
+ public:
+  InferenceModeScope() { ++detail::g_inference_depth; }
+  ~InferenceModeScope() { --detail::g_inference_depth; }
+  InferenceModeScope(const InferenceModeScope&) = delete;
+  InferenceModeScope& operator=(const InferenceModeScope&) = delete;
+
+  /// True when the calling thread is inside at least one scope.
+  static bool active() { return detail::g_inference_depth > 0; }
+};
+
 /// A learnable tensor plus its accumulated gradient.
 struct Param {
   std::string name;

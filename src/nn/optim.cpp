@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "tensor/gemm.h"
 
 namespace advp::nn {
 
@@ -25,6 +26,8 @@ void Sgd::step() {
       p.value[i] -= lr_ * v[i];
     }
   }
+  // Weights changed in place: invalidate every pack-once cache slot.
+  bump_weight_generation();
 }
 
 Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2,
@@ -59,6 +62,7 @@ void Adam::step() {
       p.value[i] -= lr_ * mh / (std::sqrt(vh) + eps_);
     }
   }
+  bump_weight_generation();
 }
 
 float clip_grad_norm(const std::vector<Param*>& params, float max_norm) {

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "core/check.h"
+#include "tensor/gemm.h"
 
 namespace advp::nn {
 
@@ -58,6 +59,8 @@ void load_params(const std::vector<Param*>& params, std::istream& is) {
             static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
     ADVP_CHECK_MSG(static_cast<bool>(is), "load_params: truncated stream");
   }
+  // Values were overwritten in place behind the layers' backs.
+  bump_weight_generation();
 }
 
 void save_params(Module& m, std::ostream& os) { save_params(m.params(), os); }

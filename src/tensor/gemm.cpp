@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 
 #include "core/check.h"
@@ -18,6 +19,11 @@
 #endif
 
 namespace advp {
+
+// Defined in tensor/ops.cpp. The SiLU epilogue calls the same out-of-line
+// symbol the SiLU layer calls, so the fused and unfused paths run literally
+// the same code per element.
+float sigmoidf(float x);
 
 namespace {
 
@@ -47,6 +53,20 @@ constexpr std::size_t kNaiveMacLimit = 4096;
 constexpr std::size_t kParallelMacLimit = std::size_t{1} << 16;
 
 std::atomic<bool> g_force_portable{false};
+
+// Pack-cache control: a process-wide weight generation (bumped by optimizer
+// steps / parameter loads) plus the ADVP_PACK_CACHE kill-switch and its
+// test-hook override.
+std::atomic<std::uint64_t> g_weight_generation{1};
+std::atomic<int> g_force_pack_cache{-1};
+
+bool pack_cache_env_default() {
+  static const bool on = [] {
+    const char* e = std::getenv("ADVP_PACK_CACHE");
+    return !(e && e[0] == '0' && e[1] == '\0');
+  }();
+  return on;
+}
 
 inline int round_up(int v, int to) { return (v + to - 1) / to * to; }
 
@@ -224,6 +244,101 @@ void micro_avx2(int kc, const float* ap, const float* bp, float* c, int ldc,
 }
 #endif
 
+// Applies the fused epilogue to the C region [row0, row0+mr) x
+// [col0, col0+nr). Each element is touched exactly once, immediately after
+// its final Kc panel stored the completed sum (the tile is still
+// cache-hot): add bias, fold eval batch-norm, activate. The expressions
+// mirror the unfused bias-scatter, BatchNorm2d::forward, and activation
+// layers verbatim, so fused output is bit-identical to the separate passes.
+//
+// The configuration is lifted to template parameters so the inner loop
+// compiles to straight-line (vectorizable) code per combination — runtime
+// per-element branches cost ~10x on the bias+ReLU path.
+template <bool kBias, bool kPerCol, bool kBn, Act kAct>
+void epilogue_tile(const GemmEpilogue& ep, float* c, int ldc, int row0,
+                   int col0, int mr, int nr) {
+  for (int r = 0; r < mr; ++r) {
+    const int row = row0 + r;
+    float* crow = c + static_cast<std::size_t>(r) * ldc;
+    const float row_bias = (kBias && !kPerCol) ? ep.bias[row] : 0.f;
+    const float bm = kBn ? ep.bn_mean[row] : 0.f;
+    const float is = kBn ? ep.bn_inv_std[row] : 0.f;
+    const float g = kBn ? ep.bn_gamma[row] : 0.f;
+    const float bt = kBn ? ep.bn_beta[row] : 0.f;
+    const float slope = ep.slope;
+    for (int j = 0; j < nr; ++j) {
+      float v = crow[j];
+      if constexpr (kBias)
+        v = v + (kPerCol ? ep.bias[col0 + j] : row_bias);
+      if constexpr (kBn) {
+        const float xh = (v - bm) * is;
+        v = g * xh + bt;
+      }
+      if constexpr (kAct == Act::kReluLeaky) v = v > 0.f ? v : slope * v;
+      if constexpr (kAct == Act::kSilu) v = v * sigmoidf(v);
+      crow[j] = v;
+    }
+  }
+}
+
+using EpilogueFn = void (*)(const GemmEpilogue&, float*, int, int, int, int,
+                            int);
+
+template <bool kBias, bool kPerCol, bool kBn>
+EpilogueFn pick_epilogue_act(Act act) {
+  switch (act) {
+    case Act::kReluLeaky:
+      return &epilogue_tile<kBias, kPerCol, kBn, Act::kReluLeaky>;
+    case Act::kSilu:
+      return &epilogue_tile<kBias, kPerCol, kBn, Act::kSilu>;
+    case Act::kNone:
+      break;
+  }
+  return &epilogue_tile<kBias, kPerCol, kBn, Act::kNone>;
+}
+
+// Resolves the specialized tile function once per gemm() call.
+EpilogueFn pick_epilogue(const GemmEpilogue& ep) {
+  const bool bn = ep.bn_mean != nullptr;
+  if (ep.bias) {
+    if (ep.bias_per_col)
+      return bn ? pick_epilogue_act<true, true, true>(ep.act)
+                : pick_epilogue_act<true, true, false>(ep.act);
+    return bn ? pick_epilogue_act<true, false, true>(ep.act)
+              : pick_epilogue_act<true, false, false>(ep.act);
+  }
+  return bn ? pick_epilogue_act<false, false, true>(ep.act)
+            : pick_epilogue_act<false, false, false>(ep.act);
+}
+
+void apply_epilogue(const GemmEpilogue& ep, float* c, int ldc, int row0,
+                    int col0, int mr, int nr) {
+  pick_epilogue(ep)(ep, c, ldc, row0, col0, mr, nr);
+}
+
+// Validates `slot` against the operand key. On a hit the packed panels are
+// already in the slot; on a miss the buffer is resized to `floats` and the
+// caller repacks into it.
+bool cache_lookup(GemmCacheSlot* slot, const float* src, int d0, int d1,
+                  int ld, bool trans, std::size_t floats) {
+  const std::uint64_t gen = weight_generation();
+  if (slot->src == src && slot->d0 == d0 && slot->d1 == d1 &&
+      slot->ld == ld && slot->trans == trans && slot->generation == gen &&
+      slot->packed.size_floats() >= floats) {
+    ADVP_OBS_COUNT(kPackCacheHits, 1);
+    return true;
+  }
+  slot->packed.resize_floats(floats);
+  slot->src = src;
+  slot->d0 = d0;
+  slot->d1 = d1;
+  slot->ld = ld;
+  slot->trans = trans;
+  slot->generation = gen;
+  ADVP_OBS_COUNT(kPackCacheMisses, 1);
+  return false;
+}
+
 using MicroFn = void (*)(int, const float*, const float*, float*, int, bool);
 
 MicroFn pick_micro() {
@@ -264,14 +379,18 @@ void micro_edge(MicroFn micro, int kc, const float* ap, const float* bp,
 
 void gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
           const float* b, int ldb, bool trans_b, float* c, int ldc,
-          bool accumulate) {
+          bool accumulate, const GemmExtra& extra) {
   ADVP_CHECK_MSG(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension");
+  const GemmEpilogue* ep = extra.epilogue;
+  ADVP_CHECK_MSG(!(ep && accumulate),
+                 "gemm: epilogue requires accumulate=false");
   if (m == 0 || n == 0) return;
   if (k == 0) {
     if (!accumulate)
       for (int i = 0; i < m; ++i)
         std::fill(c + static_cast<std::size_t>(i) * ldc,
                   c + static_cast<std::size_t>(i) * ldc + n, 0.f);
+    if (ep) apply_epilogue(*ep, c, ldc, 0, 0, m, n);
     return;
   }
   const std::size_t macs =
@@ -279,16 +398,49 @@ void gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
   ADVP_OBS_COUNT(kMatmulFlops, 2 * static_cast<std::uint64_t>(macs));
   if (macs <= kNaiveMacLimit || n < 8) {
     naive_gemm(m, n, k, a, lda, trans_a, b, ldb, trans_b, c, ldc, accumulate);
+    if (ep) apply_epilogue(*ep, c, ldc, 0, 0, m, n);
     return;
   }
 
   MicroFn micro = pick_micro();
 
+  const bool cache_on = pack_cache_enabled();
+  GemmCacheSlot* ac = cache_on ? extra.a_cache : nullptr;
+  GemmCacheSlot* bc = cache_on ? extra.b_cache : nullptr;
+
+  const std::size_t a_floats =
+      static_cast<std::size_t>(round_up(m, kMr)) * k;
   ScratchArena& main_arena = ScratchArena::local();
   ScratchArena::Frame a_frame(main_arena);
-  float* ap = main_arena.alloc_floats(
-      static_cast<std::size_t>(round_up(m, kMr)) * k);
-  pack_a(a, lda, trans_a, m, k, ap);
+  const float* ap;
+  if (ac) {
+    if (!cache_lookup(ac, a, m, k, lda, trans_a, a_floats))
+      pack_a(a, lda, trans_a, m, k, ac->packed.data());
+    ap = ac->packed.data();
+  } else {
+    float* buf = main_arena.alloc_floats(a_floats);
+    pack_a(a, lda, trans_a, m, k, buf);
+    ap = buf;
+  }
+
+  // Cached B uses a canonical stripe-independent layout packed once across
+  // the full width: the Kc block starting at row pc begins at float offset
+  // npad*pc, with its kNr-column panels contiguous inside the block. Since
+  // stripe boundaries are always kNr-aligned, any stripe geometry can
+  // index its panels into the same cached buffer.
+  const int npad = round_up(n, kNr);
+  const float* b_cached = nullptr;
+  if (bc) {
+    const std::size_t b_floats = static_cast<std::size_t>(npad) * k;
+    if (!cache_lookup(bc, b, k, n, ldb, trans_b, b_floats)) {
+      for (int pc = 0; pc < k; pc += kKc) {
+        const int kc = std::min(kKc, k - pc);
+        pack_b(b, ldb, trans_b, pc, kc, 0, n,
+               bc->packed.data() + static_cast<std::size_t>(npad) * pc);
+      }
+    }
+    b_cached = bc->packed.data();
+  }
 
   // Column stripes: each worker owns disjoint columns of C and packs its
   // own B panels into its thread-local arena. Stripe geometry is a pure
@@ -312,15 +464,26 @@ void gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
     const int nw_pad = round_up(nw, kNr);
     ScratchArena& arena = ScratchArena::local();
     ScratchArena::Frame frame(arena);
-    float* bp = arena.alloc_floats(
-        static_cast<std::size_t>(std::min(kKc, k)) * nw_pad);
+    float* bp_scratch =
+        b_cached ? nullptr
+                 : arena.alloc_floats(
+                       static_cast<std::size_t>(std::min(kKc, k)) * nw_pad);
     for (int pc = 0; pc < k; pc += kKc) {
       const int kc = std::min(kKc, k - pc);
-      pack_b(b, ldb, trans_b, pc, kc, j0, nw, bp);
+      const float* bp;
+      if (b_cached) {
+        bp = b_cached + static_cast<std::size_t>(npad) * pc +
+             static_cast<std::size_t>(j0 / kNr) * kc * kNr;
+      } else {
+        pack_b(b, ldb, trans_b, pc, kc, j0, nw, bp_scratch);
+        bp = bp_scratch;
+      }
       // First k panel initializes C (unless accumulating); later panels
       // load the running sums back into registers, preserving the
-      // ascending-k accumulation order per element.
+      // ascending-k accumulation order per element. The epilogue runs on a
+      // tile only after its last panel completes the sum.
       const bool zero_first = pc == 0 && !accumulate;
+      const bool last_panel = pc + kc == k;
       for (int ic = 0; ic < m; ic += kMc) {
         const int mc = std::min(kMc, m - ic);
         for (int jp = 0; jp < nw; jp += kNr) {
@@ -336,6 +499,8 @@ void gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
             float* cptr = c + static_cast<std::size_t>(row) * ldc + j0 + jp;
             micro_edge(micro, kc, apanel, bpanel, cptr, ldc, zero_first, mr,
                        nr);
+            if (last_panel && ep)
+              apply_epilogue(*ep, cptr, ldc, row, j0 + jp, mr, nr);
           }
         }
       }
@@ -363,6 +528,19 @@ void transpose_blocked(const float* src, int m, int n, float* dst) {
   }
 }
 
+std::uint64_t weight_generation() {
+  return g_weight_generation.load(std::memory_order_relaxed);
+}
+
+void bump_weight_generation() {
+  g_weight_generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool pack_cache_enabled() {
+  const int f = g_force_pack_cache.load(std::memory_order_relaxed);
+  return f < 0 ? pack_cache_env_default() : f != 0;
+}
+
 const char* gemm_backend() {
 #if defined(ADVP_GEMM_AVX512)
   if (!g_force_portable.load(std::memory_order_relaxed)) return "avx512";
@@ -378,6 +556,10 @@ void force_portable(bool on) {
 }
 bool forcing_portable() {
   return g_force_portable.load(std::memory_order_relaxed);
+}
+void force_pack_cache(int mode) {
+  g_force_pack_cache.store(mode < 0 ? -1 : (mode != 0 ? 1 : 0),
+                           std::memory_order_relaxed);
 }
 }  // namespace gemm_detail
 

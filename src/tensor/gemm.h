@@ -23,11 +23,76 @@
 //
 // Scratch memory (packed panels, edge tiles) comes from the thread-local
 // ScratchArena: the steady state performs zero heap allocations.
+//
+// Inference fast path (opt-in per call via GemmExtra):
+//  - GemmCacheSlot: a caller-owned cache of one operand's packed panels,
+//    keyed on (source pointer, geometry, transpose flag, global weight
+//    generation). Layers hand their weight operand's slot to gemm(); while
+//    the weights are untouched the pack step is skipped entirely.
+//    Optimizer steps / weight loads bump the generation, so training
+//    correctness is untouched. ADVP_PACK_CACHE=0 disables all slots.
+//  - GemmEpilogue: bias add, optional eval-BatchNorm fold, and an optional
+//    activation applied to each C tile right after its final Kc panel is
+//    accumulated — one pass while the tile is cache-hot, replacing the
+//    separate bias-scatter and activation sweeps. The per-element float
+//    operation sequence is exactly the unfused one (accumulate, then
+//    bias, then normalize, then activate), so results stay bit-identical.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+
+#include "core/scratch.h"
 
 namespace advp {
+
+/// Activation applied by a fused GEMM epilogue.
+enum class Act : int {
+  kNone = 0,
+  kReluLeaky,  ///< v > 0 ? v : slope * v (slope 0 == plain ReLU)
+  kSilu,       ///< v * sigmoid(v)
+};
+
+/// Optional fused epilogue: applied to every C element exactly once, after
+/// its full k-accumulation, in the order bias -> batch-norm fold ->
+/// activation (mirroring the unfused conv-scatter + BatchNorm2d + act
+/// layer sequence bit-for-bit). Incompatible with accumulate=true.
+struct GemmEpilogue {
+  const float* bias = nullptr;  ///< length m (per row) or n (bias_per_col)
+  bool bias_per_col = false;
+  // Eval-mode BatchNorm fold, all per-row (length m); mean/inv_std/gamma/
+  // beta must all be set together or all be null.
+  const float* bn_mean = nullptr;
+  const float* bn_inv_std = nullptr;
+  const float* bn_gamma = nullptr;
+  const float* bn_beta = nullptr;
+  Act act = Act::kNone;
+  float slope = 0.f;  ///< negative slope for kReluLeaky
+};
+
+/// One cached packed operand. Owned by the caller (typically a layer, so
+/// the slot dies with the weights it shadows — a slot must never outlive
+/// or be shared beyond its source buffer's owner). A slot is valid for the
+/// A or the B operand role it was filled in, not both; gemm() revalidates
+/// on (src, dims, ld, trans, weight generation) and repacks on mismatch.
+/// Not thread-safe: a slot must not be passed to concurrent gemm() calls.
+struct GemmCacheSlot {
+  AlignedBuffer packed;
+  const float* src = nullptr;
+  int d0 = 0, d1 = 0, ld = 0;  ///< logical op() dims: m,k for A; k,n for B
+  bool trans = false;
+  std::uint64_t generation = 0;
+
+  /// Forces a repack on next use.
+  void invalidate() { src = nullptr; }
+};
+
+/// Optional extensions to a gemm() call.
+struct GemmExtra {
+  GemmCacheSlot* a_cache = nullptr;  ///< pack-once cache for op(A)
+  GemmCacheSlot* b_cache = nullptr;  ///< pack-once cache for op(B)
+  const GemmEpilogue* epilogue = nullptr;
+};
 
 /// @brief C = op(A) * op(B), optionally accumulating into C.
 /// @param m,n,k Logical GEMM dimensions: op(A) is m x k, op(B) is k x n.
@@ -38,9 +103,26 @@ namespace advp {
 /// @param c Row-major output, element (i,j) at c[i*ldc + j].
 /// @param accumulate When false C is overwritten; when true the product is
 ///   added onto C's existing values (k-order still ascending per element).
+/// @param extra Optional pack caches and fused epilogue (see GemmExtra).
 void gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
           const float* b, int ldb, bool trans_b, float* c, int ldc,
-          bool accumulate = false);
+          bool accumulate = false, const GemmExtra& extra = {});
+
+// ---- pack-once weight cache control ----------------------------------------
+
+/// @brief Global generation stamp for learnable weights. GemmCacheSlot
+/// entries are only valid while their recorded generation matches.
+std::uint64_t weight_generation();
+
+/// @brief Invalidates every pack-cache slot in the process (one relaxed
+/// atomic increment). Called by optimizer steps, parameter loads, and
+/// parameter copies — any in-place weight mutation.
+void bump_weight_generation();
+
+/// @brief True when GemmCacheSlot reuse is active. Off when the process
+/// started with ADVP_PACK_CACHE=0 (the kill-switch restores PR 3's
+/// pack-every-call behaviour) or when the test hook forces it off.
+bool pack_cache_enabled();
 
 /// @brief Cache-blocked out-of-place transpose: dst[j*m + i] = src[i*n + j]
 /// for an m x n row-major src.
@@ -56,6 +138,10 @@ namespace gemm_detail {
 /// builds, so one binary can assert the two paths agree bit-for-bit.
 void force_portable(bool on);
 bool forcing_portable();
+
+/// @brief Test/bench hook overriding the ADVP_PACK_CACHE environment
+/// default: 0 forces the cache off, 1 forces it on, -1 restores the env.
+void force_pack_cache(int mode);
 }  // namespace gemm_detail
 
 }  // namespace advp

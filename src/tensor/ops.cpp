@@ -87,7 +87,7 @@ void col2im(const float* cols, int c_in, int h, int w, const Conv2dSpec& s,
 }  // namespace
 
 Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
-                      const Conv2dSpec& spec) {
+                      const Conv2dSpec& spec, const ConvFusion* fusion) {
   ADVP_CHECK_MSG(x.rank() == 4, "conv2d: input must be NCHW");
   const int n = x.dim(0), c_in = x.dim(1), h = x.dim(2), wd = x.dim(3);
   ADVP_CHECK_MSG(c_in == spec.in_channels, "conv2d: Cin mismatch");
@@ -109,6 +109,27 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
   // GEMMs below also land in matmul_flops (documented overlap).
   ADVP_OBS_COUNT(kConv2dFlops, 2ull * n * y_stride * patch);
 
+  // With fusion: bias (and optional BN fold + activation) move into the
+  // GEMM epilogue, the weight packing is served from the caller's cache
+  // slot, and the single-item case writes the GEMM output (epilogue
+  // applied) directly into y — skipping the staging buffer and the
+  // scatter pass entirely. All variants are bit-identical: the epilogue
+  // performs the same float ops, in the same order, as the separate
+  // bias-scatter + BatchNorm2d + activation passes.
+  GemmEpilogue epi;
+  GemmExtra extra;
+  if (fusion) {
+    epi.bias = b.data();  // rows of the conv GEMM are out-channels
+    epi.bn_mean = fusion->bn_mean;
+    epi.bn_inv_std = fusion->bn_inv_std;
+    epi.bn_gamma = fusion->bn_gamma;
+    epi.bn_beta = fusion->bn_beta;
+    epi.act = fusion->act;
+    epi.slope = fusion->act_slope;
+    extra.a_cache = fusion->weight_cache;
+    extra.epilogue = &epi;
+  }
+
   // The whole batch (in arena-budget groups) is lowered into one wide
   // column matrix [patch, group*Ho*Wo] and multiplied in a single GEMM:
   // item columns are disjoint and each output element's k-accumulation is
@@ -125,8 +146,6 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
     const std::size_t wide = gn * pixels;
     ScratchArena::Frame frame(arena);
     float* cols = arena.alloc_floats(static_cast<std::size_t>(patch) * wide);
-    float* ybuf = arena.alloc_floats(
-        static_cast<std::size_t>(spec.out_channels) * wide);
     auto lower = [&](std::size_t i) {
       im2col(x.data() + (n0 + i) * x_stride, c_in, h, wd, spec,
              cols + i * pixels, wide);
@@ -136,9 +155,18 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
     else
       for (std::size_t i = 0; i < gn; ++i) lower(i);
 
+    if (fusion && gn == 1) {
+      gemm(spec.out_channels, pixels, patch, w.data(), patch,
+           /*trans_a=*/false, cols, pixels, /*trans_b=*/false,
+           y.data() + n0 * y_stride, pixels, /*accumulate=*/false, extra);
+      continue;
+    }
+
+    float* ybuf = arena.alloc_floats(
+        static_cast<std::size_t>(spec.out_channels) * wide);
     gemm(spec.out_channels, static_cast<int>(wide), patch, w.data(), patch,
          /*trans_a=*/false, cols, static_cast<int>(wide), /*trans_b=*/false,
-         ybuf, static_cast<int>(wide));
+         ybuf, static_cast<int>(wide), /*accumulate=*/false, extra);
 
     auto scatter = [&](std::size_t i) {
       float* yp = y.data() + (n0 + i) * y_stride;
@@ -147,7 +175,12 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
         const float* src =
             ybuf + static_cast<std::size_t>(oc) * wide + i * pixels;
         float* dst = yp + static_cast<std::size_t>(oc) * pixels;
-        for (int j = 0; j < pixels; ++j) dst[j] = src[j] + bias;
+        if (fusion) {
+          // Epilogue already applied bias (+BN/act) in the GEMM pass.
+          std::copy(src, src + pixels, dst);
+        } else {
+          for (int j = 0; j < pixels; ++j) dst[j] = src[j] + bias;
+        }
       }
     };
     if (gn > 1 && max_workers() > 1 && !in_parallel_region())
@@ -159,7 +192,8 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
 }
 
 Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
-                            const Tensor& dy, const Conv2dSpec& spec) {
+                            const Tensor& dy, const Conv2dSpec& spec,
+                            GemmCacheSlot* wt_cache) {
   const int n = x.dim(0), c_in = x.dim(1), h = x.dim(2), wd = x.dim(3);
   const int ho = spec.out_h(h), wo = spec.out_w(wd);
   ADVP_CHECK(dy.rank() == 4 && dy.dim(0) == n &&
@@ -190,6 +224,14 @@ Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
   // returned gradient tensors.
   std::vector<Tensor> dw_part(static_cast<std::size_t>(n));
   std::vector<Tensor> db_part(static_cast<std::size_t>(n));
+  // The dX product reads the same transposed weights for every item; its
+  // packing is reusable across items and calls through `wt_cache`. Cache
+  // slots are single-owner, so the slot is only handed down when the item
+  // loop runs serially (the single-image attack hot path).
+  const bool items_parallel =
+      n > 1 && max_workers() > 1 && !in_parallel_region();
+  GemmExtra dx_extra;
+  dx_extra.a_cache = items_parallel ? nullptr : wt_cache;
   auto item = [&](std::size_t i) {
     const float* dyp = dy.data() + i * y_stride;
     Tensor dbi({spec.out_channels});
@@ -214,10 +256,11 @@ Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
     float* dcols =
         arena.alloc_floats(static_cast<std::size_t>(patch) * pixels);
     gemm(patch, pixels, spec.out_channels, w.data(), patch, /*trans_a=*/true,
-         dyp, pixels, /*trans_b=*/false, dcols, pixels);
+         dyp, pixels, /*trans_b=*/false, dcols, pixels, /*accumulate=*/false,
+         dx_extra);
     col2im(dcols, c_in, h, wd, spec, g.dx.data() + i * x_stride);
   };
-  if (n > 1 && max_workers() > 1 && !in_parallel_region())
+  if (items_parallel)
     parallel_for(0, static_cast<std::size_t>(n), item);
   else
     for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) item(i);

@@ -6,6 +6,7 @@
 // d(loss)/d(image) all the way back to the pixels.
 #pragma once
 
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
 namespace advp {
@@ -31,10 +32,27 @@ struct Conv2dSpec {
   int out_w(int in_w) const { return (in_w + 2 * pad - kernel) / stride + 1; }
 };
 
+/// Inference fast-path options for conv2d_forward. With `fusion` set the
+/// bias scatter moves into the GEMM epilogue (plus an optional eval
+/// batch-norm fold and activation — all per out-channel), and the weight
+/// operand's packing is reused across calls through `weight_cache`.
+/// Results are bit-identical to the separate passes in every case.
+struct ConvFusion {
+  GemmCacheSlot* weight_cache = nullptr;  ///< pack-once cache for W
+  // Eval-mode BatchNorm fold, per out-channel (all four set, or all null).
+  const float* bn_mean = nullptr;
+  const float* bn_inv_std = nullptr;
+  const float* bn_gamma = nullptr;
+  const float* bn_beta = nullptr;
+  Act act = Act::kNone;
+  float act_slope = 0.f;
+};
+
 /// x: [N, Cin, H, W]; w: [Cout, Cin, K, K]; b: [Cout].
 /// Returns [N, Cout, Ho, Wo].
 Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
-                      const Conv2dSpec& spec);
+                      const Conv2dSpec& spec,
+                      const ConvFusion* fusion = nullptr);
 
 struct Conv2dGrads {
   Tensor dx;  ///< gradient w.r.t. input, same shape as x
@@ -42,8 +60,12 @@ struct Conv2dGrads {
   Tensor db;  ///< gradient w.r.t. bias
 };
 
+/// `wt_cache`, when given, caches the packed transposed-weight operand of
+/// the dX GEMM across calls (only used when the per-item loop runs
+/// serially — the slot is single-owner).
 Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
-                            const Tensor& dy, const Conv2dSpec& spec);
+                            const Tensor& dy, const Conv2dSpec& spec,
+                            GemmCacheSlot* wt_cache = nullptr);
 
 // ---- pooling ---------------------------------------------------------------
 

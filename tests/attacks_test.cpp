@@ -233,6 +233,62 @@ TEST(SimbaTest, MaskConfines) {
     if (mask[i] == 0.f) EXPECT_FLOAT_EQ(res.x_adv[i], x[i]);
 }
 
+TEST(SimbaTest, BatchedPairMatchesSequentialTrajectory) {
+  Rng wrng(31);
+  Tensor hidden = Tensor::randn({1, 3, 4, 4}, wrng);
+  auto score = [&](const Tensor& x) { return -x.dot(hidden); };
+  // Batched oracle: same scalar per item of an [N,3,4,4] batch.
+  BatchScoreOracle batch_score = [&](const Tensor& x) {
+    std::vector<float> out(static_cast<std::size_t>(x.dim(0)));
+    const std::size_t item = x.numel() / static_cast<std::size_t>(x.dim(0));
+    for (int b = 0; b < x.dim(0); ++b) {
+      float s = 0.f;
+      for (std::size_t i = 0; i < item; ++i)
+        s -= x[static_cast<std::size_t>(b) * item + i] * hidden[i];
+      out[static_cast<std::size_t>(b)] = s;
+    }
+    return out;
+  };
+  Tensor x({1, 3, 4, 4});
+  x.fill(0.5f);
+  SimbaParams p;
+  p.eps = 0.05f;
+  p.basis = SimbaBasis::kPixel;
+  // Budget large enough that both runs exhaust the 48-direction basis:
+  // identical trajectories, different query accounting.
+  p.max_queries = 400;
+  Rng rng_seq(32), rng_bat(32);
+  SimbaResult seq = simba(x, p, score, rng_seq);
+  SimbaResult bat = simba(x, p, score, rng_bat, Tensor(), batch_score);
+  EXPECT_EQ(bat.accepted_directions, seq.accepted_directions);
+  // Batched spends 2 queries per round even where sequential accepted
+  // +eps after 1, so it can only cost more.
+  EXPECT_GE(bat.queries, seq.queries);
+  EXPECT_EQ(bat.score_after, seq.score_after);
+  ASSERT_TRUE(bat.x_adv.same_shape(seq.x_adv));
+  for (std::size_t i = 0; i < bat.x_adv.numel(); ++i)
+    ASSERT_EQ(bat.x_adv[i], seq.x_adv[i]) << "element " << i;
+}
+
+TEST(SimbaTest, BatchedPairCountsBothQueries) {
+  Rng wrng(33);
+  Tensor hidden = Tensor::randn({1, 3, 4, 4}, wrng);
+  auto score = [&](const Tensor& x) { return -x.dot(hidden); };
+  BatchScoreOracle batch_score = [&](const Tensor& x) {
+    // Scores that never improve: every round rejects both candidates.
+    return std::vector<float>(static_cast<std::size_t>(x.dim(0)), 1e9f);
+  };
+  Tensor x({1, 3, 4, 4});
+  x.fill(0.5f);
+  SimbaParams p;
+  p.basis = SimbaBasis::kPixel;
+  p.max_queries = 21;  // 1 baseline + 10 rejected pairs
+  Rng rng(34);
+  SimbaResult res = simba(x, p, score, rng, Tensor(), batch_score);
+  EXPECT_EQ(res.queries, 21);
+  EXPECT_EQ(res.accepted_directions, 0);
+}
+
 TEST(SimbaTest, DctBasisTouchesManyPixels) {
   Rng wrng(15);
   Tensor hidden = Tensor::randn({1, 3, 8, 8}, wrng);

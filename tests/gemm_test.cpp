@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstring>
 #include <vector>
 
 #include "core/check.h"
+#include "core/obs.h"
 #include "core/parallel.h"
 #include "core/scratch.h"
 #include "tensor/gemm.h"
@@ -242,6 +244,244 @@ TEST(ScratchArenaTest, ThreadLocalArenasAreIndependent) {
 TEST(ScratchArenaTest, AllocationOutsideFrameThrows) {
   ScratchArena arena;
   EXPECT_THROW(arena.alloc_floats(16), CheckError);
+}
+
+// ---- inference fast path ---------------------------------------------------
+
+// RAII guard for the pack-cache test hook; -1 restores the env default.
+struct ForcePackCache {
+  explicit ForcePackCache(int mode) { gemm_detail::force_pack_cache(mode); }
+  ~ForcePackCache() { gemm_detail::force_pack_cache(-1); }
+};
+
+// Applies the unfused equivalent of a GemmEpilogue: the bias scatter, the
+// eval batch-norm expression, and the activation as separate passes,
+// written exactly as the layer code writes them.
+void apply_separate_passes(const GemmEpilogue& ep, Tensor& c) {
+  const int m = c.dim(0), n = c.dim(1);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      float v = c.at(i, j);
+      if (ep.bias) v = v + (ep.bias_per_col ? ep.bias[j] : ep.bias[i]);
+      if (ep.bn_mean) {
+        const float xh = (v - ep.bn_mean[i]) * ep.bn_inv_std[i];
+        v = ep.bn_gamma[i] * xh + ep.bn_beta[i];
+      }
+      switch (ep.act) {
+        case Act::kNone:
+          break;
+        case Act::kReluLeaky:
+          v = v > 0.f ? v : ep.slope * v;
+          break;
+        case Act::kSilu:
+          v = v * sigmoidf(v);
+          break;
+      }
+      c.at(i, j) = v;
+    }
+}
+
+TEST(GemmFusedTest, EpilogueBitIdenticalToSeparatePasses) {
+  Rng rng(201);
+  struct Case {
+    bool bias, per_col, bn;
+    Act act;
+    float slope;
+  };
+  const std::vector<Case> cases = {
+      {true, false, false, Act::kNone, 0.f},
+      {true, true, false, Act::kNone, 0.f},
+      {true, false, false, Act::kReluLeaky, 0.f},
+      {true, true, false, Act::kReluLeaky, 0.1f},
+      {true, false, false, Act::kSilu, 0.f},
+      {true, false, true, Act::kSilu, 0.f},
+      {false, false, true, Act::kReluLeaky, 0.f},
+  };
+  // Shapes covering the k==0-adjacent naive path, the n<8 path, and the
+  // blocked path across several stripe geometries.
+  const std::vector<std::vector<int>> shapes = {
+      {3, 5, 4}, {40, 300, 6}, {33, 70, 130}, {96, 256, 512}};
+  for (const bool portable : {false, true}) {
+    ForcePortable backend(portable);
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+      ScopedMaxWorkers w(workers);
+      for (const auto& dims : shapes) {
+        const int m = dims[0], k = dims[1], n = dims[2];
+        Tensor a = Tensor::randn({m, k}, rng);
+        Tensor b = Tensor::randn({k, n}, rng);
+        Tensor bias = Tensor::randn({std::max(m, n)}, rng);
+        Tensor bn_mean = Tensor::randn({m}, rng, 0.3f);
+        Tensor bn_inv_std = Tensor::randn({m}, rng);
+        for (std::size_t i = 0; i < bn_inv_std.numel(); ++i)
+          bn_inv_std[i] = 0.5f + std::fabs(bn_inv_std[i]);
+        Tensor bn_gamma = Tensor::randn({m}, rng);
+        Tensor bn_beta = Tensor::randn({m}, rng, 0.2f);
+        for (const Case& cs : cases) {
+          GemmEpilogue ep;
+          if (cs.bias) {
+            ep.bias = bias.data();
+            ep.bias_per_col = cs.per_col;
+          }
+          if (cs.bn) {
+            ep.bn_mean = bn_mean.data();
+            ep.bn_inv_std = bn_inv_std.data();
+            ep.bn_gamma = bn_gamma.data();
+            ep.bn_beta = bn_beta.data();
+          }
+          ep.act = cs.act;
+          ep.slope = cs.slope;
+          GemmExtra extra;
+          extra.epilogue = &ep;
+          Tensor fused({m, n});
+          gemm(m, n, k, a.data(), k, false, b.data(), n, false, fused.data(),
+               n, /*accumulate=*/false, extra);
+          Tensor want({m, n});
+          gemm(m, n, k, a.data(), k, false, b.data(), n, false, want.data(),
+               n);
+          apply_separate_passes(ep, want);
+          for (std::size_t i = 0; i < fused.numel(); ++i)
+            ASSERT_EQ(fused[i], want[i])
+                << "m=" << m << " k=" << k << " n=" << n
+                << " portable=" << portable << " workers=" << workers
+                << " bias=" << cs.bias << " per_col=" << cs.per_col
+                << " bn=" << cs.bn << " act=" << static_cast<int>(cs.act)
+                << " at " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmFusedTest, EpilogueRejectsAccumulate) {
+  Rng rng(202);
+  const int m = 4, k = 4, n = 4;
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor bias = Tensor::randn({m}, rng);
+  Tensor c({m, n});
+  GemmEpilogue ep;
+  ep.bias = bias.data();
+  GemmExtra extra;
+  extra.epilogue = &ep;
+  EXPECT_THROW(gemm(m, n, k, a.data(), k, false, b.data(), n, false,
+                    c.data(), n, /*accumulate=*/true, extra),
+               CheckError);
+}
+
+TEST(GemmPackCacheTest, ACacheReusedAndInvalidatedByGeneration) {
+  ForcePackCache on(1);
+  ScopedMaxWorkers three(3);
+  Rng rng(203);
+  const int m = 48, k = 96, n = 200;  // blocked path
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  const std::vector<float> want =
+      ref_gemm(m, n, k, a.data(), k, false, b.data(), n, false);
+  GemmCacheSlot slot;
+  GemmExtra extra;
+  extra.a_cache = &slot;
+  Tensor c1({m, n});
+  gemm(m, n, k, a.data(), k, false, b.data(), n, false, c1.data(), n,
+       false, extra);
+  for (std::size_t i = 0; i < c1.numel(); ++i) ASSERT_EQ(c1[i], want[i]);
+  // Warm call: served from the slot, bit-identical.
+  Tensor c2({m, n});
+  gemm(m, n, k, a.data(), k, false, b.data(), n, false, c2.data(), n,
+       false, extra);
+  for (std::size_t i = 0; i < c2.numel(); ++i) ASSERT_EQ(c2[i], c1[i]);
+  // Proof the cache is actually hot: an in-place edit of A without a
+  // generation bump keeps serving the stale pack...
+  a[0] += 1.f;
+  Tensor c3({m, n});
+  gemm(m, n, k, a.data(), k, false, b.data(), n, false, c3.data(), n,
+       false, extra);
+  for (std::size_t i = 0; i < c3.numel(); ++i) ASSERT_EQ(c3[i], c1[i]);
+  // ...until the generation bump (the optimizer-step hook) invalidates it.
+  bump_weight_generation();
+  const std::vector<float> want2 =
+      ref_gemm(m, n, k, a.data(), k, false, b.data(), n, false);
+  Tensor c4({m, n});
+  gemm(m, n, k, a.data(), k, false, b.data(), n, false, c4.data(), n,
+       false, extra);
+  for (std::size_t i = 0; i < c4.numel(); ++i) ASSERT_EQ(c4[i], want2[i]);
+}
+
+TEST(GemmPackCacheTest, BCacheIsStripeGeometryIndependent) {
+  ForcePackCache on(1);
+  Rng rng(204);
+  const int m = 8, k = 300, n = 384;  // wide B, Linear-like
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({n, k}, rng);  // stored transposed, like W
+  const std::vector<float> want =
+      ref_gemm(m, n, k, a.data(), k, false, b.data(), k, true);
+  GemmCacheSlot slot;
+  GemmExtra extra;
+  extra.b_cache = &slot;
+  // Cold pack under one worker, warm reads under several: the canonical
+  // full-width layout must serve every stripe geometry bit-identically.
+  Tensor c1({m, n});
+  {
+    ScopedMaxWorkers one(1);
+    gemm(m, n, k, a.data(), k, false, b.data(), k, true, c1.data(), n,
+         false, extra);
+  }
+  for (std::size_t i = 0; i < c1.numel(); ++i) ASSERT_EQ(c1[i], want[i]);
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{5}}) {
+    ScopedMaxWorkers w(workers);
+    Tensor cw({m, n});
+    gemm(m, n, k, a.data(), k, false, b.data(), k, true, cw.data(), n,
+         false, extra);
+    for (std::size_t i = 0; i < cw.numel(); ++i)
+      ASSERT_EQ(cw[i], c1[i]) << "workers=" << workers << " element " << i;
+  }
+}
+
+TEST(GemmPackCacheTest, DisabledModeIgnoresSlots) {
+  ForcePackCache off(0);  // what ADVP_PACK_CACHE=0 selects
+  Rng rng(205);
+  const int m = 48, k = 96, n = 200;
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  GemmCacheSlot slot;
+  GemmExtra extra;
+  extra.a_cache = &slot;
+  Tensor c1({m, n});
+  gemm(m, n, k, a.data(), k, false, b.data(), n, false, c1.data(), n,
+       false, extra);
+  EXPECT_EQ(slot.src, nullptr) << "slot populated while cache disabled";
+  // With the cache off, in-place edits are picked up with no bump.
+  a[0] += 1.f;
+  const std::vector<float> want =
+      ref_gemm(m, n, k, a.data(), k, false, b.data(), n, false);
+  Tensor c2({m, n});
+  gemm(m, n, k, a.data(), k, false, b.data(), n, false, c2.data(), n,
+       false, extra);
+  for (std::size_t i = 0; i < c2.numel(); ++i) ASSERT_EQ(c2[i], want[i]);
+}
+
+TEST(GemmPackCacheTest, CountersRecordHitsAndMisses) {
+  if (obs::trace_disabled()) GTEST_SKIP() << "ADVP_TRACE=0";
+  ForcePackCache on(1);
+  Rng rng(206);
+  const int m = 48, k = 96, n = 200;
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  GemmCacheSlot slot;
+  GemmExtra extra;
+  extra.a_cache = &slot;
+  Tensor c({m, n});
+  obs::reset();
+  obs::enable(true);
+  gemm(m, n, k, a.data(), k, false, b.data(), n, false, c.data(), n, false,
+       extra);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kPackCacheMisses), 1u);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kPackCacheHits), 0u);
+  gemm(m, n, k, a.data(), k, false, b.data(), n, false, c.data(), n, false,
+       extra);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kPackCacheMisses), 1u);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kPackCacheHits), 1u);
+  obs::enable(false);
+  obs::reset();
 }
 
 }  // namespace

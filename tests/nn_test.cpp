@@ -338,5 +338,95 @@ TEST(SerializeTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+// ---- inference fast path ----------------------------------------------------
+
+// A stack hitting every fusion pattern: Conv+BN+SiLU, Conv+ReLU, a bare
+// Conv followed by a non-fusible layer, and Linear+ReLU / bare Linear.
+Sequential make_fusible_stack(Rng& rng) {
+  Sequential net;
+  net.emplace<Conv2d>(3, 6, 3, 1, 1, rng);
+  net.emplace<BatchNorm2d>(6);
+  net.emplace<SiLU>();
+  net.emplace<Conv2d>(6, 6, 3, 1, 1, rng);
+  net.emplace<ReLU>(0.1f);
+  net.emplace<Conv2d>(6, 4, 1, 1, 0, rng);
+  net.emplace<MaxPool2x2>();
+  net.emplace<Flatten>();
+  net.emplace<Linear>(4 * 4 * 4, 8, rng);
+  net.emplace<ReLU>();
+  net.emplace<Linear>(8, 2, rng);
+  return net;
+}
+
+TEST(InferenceModeTest, FusedForwardBitIdenticalToPlainEval) {
+  Rng rng(15);
+  Sequential net = make_fusible_stack(rng);
+  // Push the running BN statistics off their init so the fold is real.
+  Tensor warm = Tensor::randn({4, 3, 8, 8}, rng, 0.5f);
+  net.forward(warm, /*train=*/true);
+
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng, 0.5f);
+  Tensor plain = net.forward(x, /*train=*/false);
+  Tensor fused;
+  {
+    InferenceModeScope scope;
+    fused = net.forward(x, /*train=*/false);
+  }
+  ASSERT_TRUE(fused.same_shape(plain));
+  for (std::size_t i = 0; i < fused.numel(); ++i)
+    ASSERT_EQ(fused[i], plain[i]) << "element " << i;
+  // Repeat with warm pack caches: still bit-identical.
+  {
+    InferenceModeScope scope;
+    Tensor again = net.forward(x, /*train=*/false);
+    for (std::size_t i = 0; i < again.numel(); ++i)
+      ASSERT_EQ(again[i], plain[i]) << "element " << i;
+  }
+}
+
+TEST(InferenceModeTest, ScopedForwardSkipsBackwardCaches) {
+  Rng rng(16);
+  Sequential net;
+  net.emplace<Conv2d>(3, 4, 3, 1, 1, rng);
+  net.emplace<ReLU>();
+  Tensor x = Tensor::randn({1, 3, 6, 6}, rng);
+  {
+    InferenceModeScope scope;
+    net.forward(x, /*train=*/false);
+  }
+  // Nothing was cached, so a backward pass has no forward to match.
+  Tensor dy = Tensor::ones({1, 4, 6, 6});
+  EXPECT_THROW(net.backward(dy), CheckError);
+  // Outside the scope the same eval forward caches as before.
+  net.forward(x, /*train=*/false);
+  Tensor dx = net.backward(dy);
+  EXPECT_TRUE(dx.same_shape(x));
+}
+
+TEST(InferenceModeTest, TrainingStepsInvalidatePackedWeights) {
+  Rng rng(17);
+  Sequential net = make_fusible_stack(rng);
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng, 0.5f);
+  // Warm every pack cache on the fused path.
+  {
+    InferenceModeScope scope;
+    net.forward(x, /*train=*/false);
+  }
+  // One SGD step mutates the weights in place.
+  Tensor y = net.forward(x, /*train=*/true);
+  net.backward(Tensor::ones(y.shape()));
+  Sgd opt(net.params(), 0.05f);
+  opt.step();
+  // The fused forward must see the stepped weights, not stale packs.
+  Tensor plain = net.forward(x, /*train=*/false);
+  Tensor fused;
+  {
+    InferenceModeScope scope;
+    fused = net.forward(x, /*train=*/false);
+  }
+  for (std::size_t i = 0; i < fused.numel(); ++i)
+    ASSERT_EQ(fused[i], plain[i]) << "element " << i;
+}
+
 }  // namespace
 }  // namespace advp::nn

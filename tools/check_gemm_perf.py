@@ -4,64 +4,95 @@
 Usage: build/bench/micro_gemm > fresh.json
        python3 tools/check_gemm_perf.py fresh.json [BENCH_gemm.json]
 
-The comparison is on the *speedup* column (blocked kernel GFLOP/s over the
-seed i-k-j matmul GFLOP/s, measured in the same process on the same
-machine). Absolute GFLOP/s varies wildly across CI runners and is not
-checked; the blocked-vs-seed ratio is the portable signal. A shape fails
-when its fresh speedup drops more than TOLERANCE below baseline — generous
-on purpose, this is a smoke check against large kernel regressions, not a
-microbenchmark gate.
+Three sections are checked, all on *ratios* — absolute GFLOP/s and
+milliseconds vary wildly across CI runners and are never compared:
 
-Also asserts `identical: true` for every shape: the blocked kernel must
-stay bit-identical to the seed loop, on any runner. Exit code 1 on any
-failure.
+- "shapes": the blocked kernel's speedup over the seed i-k-j matmul
+  (measured in the same process on the same machine). A shape fails when
+  its fresh speedup drops more than TOLERANCE below baseline — generous on
+  purpose, this is a smoke check against large kernel regressions, not a
+  microbenchmark gate.
+- "fused": the fused bias+activation epilogue vs the separate
+  gemm + bias-scatter + activation passes. fused_speedup must stay at or
+  above max(FUSED_MIN, baseline * (1 - TOLERANCE)) — the fused path must
+  never silently decay into a slowdown.
+- "warm_cache": pack-once weight-cache reuse. pack_bytes_reduction (the
+  fraction of per-call packing bytes eliminated on warm calls) is a
+  deterministic byte count, so it gets a fixed floor PACK_REDUCTION_MIN
+  rather than a baseline-relative one.
+
+Also asserts `identical: true` for every entry: the blocked kernel, the
+fused epilogue, and the warm-cache path must all stay bit-identical to
+their reference passes, on any runner. Exit code 1 on any failure.
 """
 import json
 import sys
 
-TOLERANCE = 0.30  # fresh speedup may be up to 30% below baseline
+TOLERANCE = 0.30  # fresh ratio may be up to 30% below baseline
+FUSED_MIN = 1.15  # fused epilogue must beat separate passes by >= 15%
+PACK_REDUCTION_MIN = 0.80  # warm calls must skip >= 80% of packing bytes
 
 
-def load_shapes(path):
+def load_sections(path):
     with open(path, encoding="utf-8") as f:
         data = json.load(f)
-    # BENCH_gemm.json nests the shape list; micro_gemm emits it at top level.
-    shapes = data.get("micro_gemm", data).get("shapes", [])
-    return {s["name"]: s for s in shapes}
+    # BENCH_gemm.json nests the sections; micro_gemm emits them at top level.
+    root = data.get("micro_gemm", data)
+    return {
+        key: {s["name"]: s for s in root.get(key, [])}
+        for key in ("shapes", "fused", "warm_cache")
+    }
+
+
+def check_identical(name, entry, what):
+    if not entry.get("identical", False):
+        print(f"FAIL {name}: {what} not bit-identical to reference")
+        return 1
+    return 0
+
+
+def check_ratio(name, fresh_val, floor, label):
+    status = "ok" if fresh_val >= floor else "FAIL"
+    print(f"{status:4} {name}: {label} {fresh_val:.2f} (floor {floor:.2f})")
+    return 1 if status == "FAIL" else 0
 
 
 def main():
     if len(sys.argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    fresh = load_shapes(sys.argv[1])
-    base = load_shapes(sys.argv[2] if len(sys.argv) > 2 else "BENCH_gemm.json")
-    if not fresh or not base:
+    fresh = load_sections(sys.argv[1])
+    base = load_sections(sys.argv[2] if len(sys.argv) > 2 else "BENCH_gemm.json")
+    if not fresh["shapes"] or not base["shapes"]:
         print("error: empty shape list in input", file=sys.stderr)
         return 2
 
     failures = 0
-    for name, b in sorted(base.items()):
-        f = fresh.get(name)
-        if f is None:
-            print(f"FAIL {name}: missing from fresh run")
-            failures += 1
-            continue
-        if not f.get("identical", False):
-            print(f"FAIL {name}: blocked kernel not bit-identical to seed")
-            failures += 1
-            continue
-        floor = b["speedup"] * (1.0 - TOLERANCE)
-        status = "ok" if f["speedup"] >= floor else "FAIL"
-        print(
-            f"{status:4} {name}: speedup {f['speedup']:.2f} "
-            f"(baseline {b['speedup']:.2f}, floor {floor:.2f})"
-        )
-        if status == "FAIL":
-            failures += 1
+    for section, ratio_key, fixed_min, what in (
+        ("shapes", "speedup", None, "blocked kernel"),
+        ("fused", "fused_speedup", FUSED_MIN, "fused epilogue"),
+        ("warm_cache", "pack_bytes_reduction", PACK_REDUCTION_MIN, "warm cache"),
+    ):
+        for name, b in sorted(base[section].items()):
+            f = fresh[section].get(name)
+            if f is None:
+                print(f"FAIL {name}: missing from fresh run")
+                failures += 1
+                continue
+            if check_identical(name, f, what):
+                failures += 1
+                continue
+            if section == "warm_cache":
+                # Byte counts are deterministic; the floor is absolute.
+                floor = fixed_min
+            else:
+                floor = b[ratio_key] * (1.0 - TOLERANCE)
+                if fixed_min is not None:
+                    floor = max(fixed_min, floor)
+            failures += check_ratio(name, f[ratio_key], floor, ratio_key)
 
     if failures:
-        print(f"{failures} shape(s) regressed beyond {TOLERANCE:.0%} tolerance")
+        print(f"{failures} entry(ies) regressed beyond tolerance")
         return 1
     print("perf smoke check passed")
     return 0
