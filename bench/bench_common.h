@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <vector>
 
@@ -15,11 +16,21 @@
 
 namespace advp::bench {
 
+/// Resolves a bench artifact (manifest, PPM, CSV) into the `out/`
+/// directory — created on demand — instead of polluting the working
+/// directory. ADVP_TRACE=<path> still overrides manifest destinations
+/// downstream (RunManifest::write strips the directory part).
+inline std::string out_path(const std::string& filename) {
+  std::error_code ec;
+  std::filesystem::create_directories("out", ec);
+  return (std::filesystem::path("out") / filename).string();
+}
+
 /// Per-binary observability wrapper. Construct one at the top of main():
 /// it turns tracing on (unless ADVP_TRACE=0 force-disabled it) and, on
-/// destruction, writes `<name>.manifest.json` — phase spans, kernel FLOP
-/// counters, cache statistics, and seed/thread/git metadata — resolved
-/// against the ADVP_TRACE path override. Echo run parameters into the
+/// destruction, writes `out/<name>.manifest.json` — phase spans, kernel
+/// FLOP counters, cache statistics, and seed/thread/git metadata —
+/// resolved against the ADVP_TRACE path override. Echo run parameters into the
 /// manifest via `run.manifest().set("seed", ...)`.
 class BenchRun {
  public:
@@ -32,7 +43,7 @@ class BenchRun {
   ~BenchRun() {
     if (!obs::enabled()) return;
     const std::string out =
-        manifest_.write(manifest_.name() + ".manifest.json");
+        manifest_.write(out_path(manifest_.name() + ".manifest.json"));
     // stderr: some benches (micro_parallel) emit machine-readable stdout.
     if (!out.empty()) std::fprintf(stderr, "[obs] manifest -> %s\n", out.c_str());
   }

@@ -18,20 +18,21 @@ int main() {
   data::SignSceneGenerator sign_gen;
   Rng rng(7);
   auto sign_scene = sign_gen.generate(rng);
-  write_ppm(sign_scene.image, "fig1_sign_example.ppm");
-  std::printf("sign scene -> fig1_sign_example.ppm (%dx%d, %zu stop sign(s))\n",
+  const std::string sign_ppm = bench::out_path("fig1_sign_example.ppm");
+  write_ppm(sign_scene.image, sign_ppm);
+  std::printf("sign scene -> %s (%dx%d, %zu stop sign(s))\n", sign_ppm.c_str(),
               sign_scene.image.width(), sign_scene.image.height(),
               sign_scene.stop_signs.size());
 
   data::DrivingSceneGenerator drive_gen;
   auto style = drive_gen.sample_style(rng);
   auto frame = drive_gen.render(22.f, style, rng);
-  write_ppm(frame.image, "fig1_driving_example.ppm");
+  const std::string drive_ppm = bench::out_path("fig1_driving_example.ppm");
+  write_ppm(frame.image, drive_ppm);
   std::printf(
-      "driving frame -> fig1_driving_example.ppm (%dx%d, lead at %.1f m, "
-      "box %.0fx%.0f px)\n",
-      frame.image.width(), frame.image.height(), frame.distance,
-      frame.lead_box.w, frame.lead_box.h);
+      "driving frame -> %s (%dx%d, lead at %.1f m, box %.0fx%.0f px)\n",
+      drive_ppm.c_str(), frame.image.width(), frame.image.height(),
+      frame.distance, frame.lead_box.w, frame.lead_box.h);
 
   // Corpus statistics (what Fig. 1 caption-level readers care about).
   auto sign_ds = data::make_sign_dataset(200, 99);

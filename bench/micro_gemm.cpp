@@ -24,9 +24,23 @@
 //  - "warm_cache": a Linear-like shape with the weight operand served
 //    from a pack-once cache slot — `pack_bytes_reduction` (warm-call
 //    gemm_pack_bytes over cold) must clear 0.80.
+//
+// Two reduced-precision sections measure the inference tiers against the
+// fp32 fast path on the same warm-weight-cache footing:
+//  - "bf16": the bytes tier. `pack_ratio` (bf16 staged pack bytes over
+//    fp32, a deterministic byte count) must stay at or under 0.55 in CI;
+//    speedup is reported but not gated (halved panel traffic roughly
+//    cancels the widening cost on compute-bound shapes).
+//  - "int8": the speed tier. `speedup` (warm fp32 ms over warm int8 ms,
+//    single thread) must clear 1.5x in CI on every committed shape.
+// `identical` in both sections asserts the tier's output is bit-identical
+// between the SIMD and portable micro-kernels — the determinism contract
+// extends to reduced precision.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -266,6 +280,90 @@ int main() {
         identical ? "true" : "false",
         si + 1 < warm_shapes.size() ? "," : "");
     run.manifest().set(std::string(s.name) + "_pack_reduction", reduction);
+  }
+
+  // ---- reduced-precision inference tiers -----------------------------------
+  // Weights in A (conv layout, M = Cout) served from a warm cache slot in
+  // every timed call — the steady inference state, so the comparison is
+  // compute + activation staging, not weight (re)quantization. The int8
+  // activation scale is fixed (absmax / 127, what a calibration pass
+  // records) — the deployment path. The uncalibrated fallback adds a
+  // serial absmax sweep over the activations per call, which on wide
+  // activation operands costs more than the int8 kernel saves.
+  const std::vector<ShapeSpec> lp_shapes = {
+      {"conv_head_b32", 64, 1152, 512},
+      {"gemm_256", 256, 256, 256},
+      {"gemm_384", 384, 384, 384},
+  };
+  for (const GemmPrecision tier :
+       {GemmPrecision::kBf16, GemmPrecision::kInt8}) {
+    const char* tname = precision_name(tier);
+    std::printf("  ],\n  \"%s\": [\n", tname);
+    for (std::size_t si = 0; si < lp_shapes.size(); ++si) {
+      const ShapeSpec& s = lp_shapes[si];
+      Tensor w = Tensor::randn({s.m, s.k}, rng);
+      Tensor x = Tensor::randn({s.k, s.n}, rng);
+      Tensor c_ref({s.m, s.n}), c_lp({s.m, s.n}), c_port({s.m, s.n});
+      const double macs = static_cast<double>(s.m) * s.k * s.n;
+      const int reps = std::clamp(static_cast<int>(2e8 / macs), 5, 60);
+      const float act_scale = x.abs_max() / 127.f;  // calibrated scale
+
+      // One timing closure per tier, each with its own cache slot (packed
+      // panel layouts are backend- and precision-specific, so slots are
+      // never shared across tiers or kernel selections).
+      auto timed = [&](GemmPrecision p, float* c, std::uint64_t* cold_pack) {
+        GemmCacheSlot slot;
+        GemmExtra extra;
+        extra.a_cache = &slot;
+        extra.precision = p;
+        extra.act_scale = act_scale;
+        auto call = [&] {
+          gemm(s.m, s.n, s.k, w.data(), s.k, false, x.data(), s.n, false, c,
+               s.n, /*accumulate=*/false, extra);
+        };
+        std::uint64_t mark = obs::counter_value(obs::Counter::kGemmPackBytes);
+        call();  // cold: quantizes/packs the weight panel + stages x
+        if (cold_pack)
+          *cold_pack = obs::counter_value(obs::Counter::kGemmPackBytes) - mark;
+        return best_ms(reps, call);
+      };
+
+      double fp32_ms, lp_ms;
+      std::uint64_t fp32_pack, lp_pack;
+      bool identical;
+      {
+        ScopedMaxWorkers one(1);
+        fp32_ms = timed(GemmPrecision::kFp32, c_ref.data(), &fp32_pack);
+        lp_ms = timed(tier, c_lp.data(), &lp_pack);
+        gemm_detail::force_portable(true);
+        timed(tier, c_port.data(), nullptr);
+        gemm_detail::force_portable(false);
+        identical = true;
+        for (std::size_t i = 0; i < c_lp.numel() && identical; ++i)
+          identical = c_lp[i] == c_port[i];
+      }
+      float max_abs_err = 0.f;
+      for (std::size_t i = 0; i < c_ref.numel(); ++i)
+        max_abs_err =
+            std::max(max_abs_err, std::fabs(c_lp[i] - c_ref[i]));
+      const double pack_ratio =
+          fp32_pack > 0 ? static_cast<double>(lp_pack) / fp32_pack : 0.0;
+      const std::string name = std::string(tname) + "_" + s.name;
+      std::printf(
+          "    {\"name\": \"%s\", \"m\": %d, \"k\": %d, \"n\": %d, "
+          "\"fp32_ms\": %.4f, \"%s_ms\": %.4f, \"speedup\": %.2f, "
+          "\"max_abs_err\": %.4g, \"fp32_pack_bytes\": %llu, "
+          "\"%s_pack_bytes\": %llu, \"pack_ratio\": %.3f, "
+          "\"identical\": %s}%s\n",
+          name.c_str(), s.m, s.k, s.n, fp32_ms, tname, lp_ms,
+          fp32_ms / lp_ms, max_abs_err,
+          static_cast<unsigned long long>(fp32_pack), tname,
+          static_cast<unsigned long long>(lp_pack), pack_ratio,
+          identical ? "true" : "false",
+          si + 1 < lp_shapes.size() ? "," : "");
+      run.manifest().set(name + "_speedup", fp32_ms / lp_ms);
+      run.manifest().set(name + "_pack_ratio", pack_ratio);
+    }
   }
   std::printf("  ]\n}\n");
   return 0;

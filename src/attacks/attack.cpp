@@ -19,6 +19,38 @@ Tensor make_box_mask(int h, int w, const Box& roi) {
   return mask;
 }
 
+Tensor stack_batch(const std::vector<Tensor>& items) {
+  ADVP_CHECK_MSG(!items.empty(), "stack_batch: no candidates");
+  const Tensor& first = items.front();
+  ADVP_CHECK_MSG(first.rank() >= 1 && first.dim(0) == 1,
+                 "stack_batch: candidates must be [1,...] tensors");
+  std::vector<int> shape;
+  for (int d = 0; d < first.rank(); ++d) shape.push_back(first.dim(d));
+  shape[0] = static_cast<int>(items.size());
+  Tensor out(shape);
+  const std::size_t stride = first.numel();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    ADVP_CHECK_MSG(items[i].same_shape(first), "stack_batch: shape mismatch");
+    std::copy(items[i].data(), items[i].data() + stride,
+              out.data() + i * stride);
+  }
+  return out;
+}
+
+Tensor batch_item(const Tensor& batch, int i) {
+  ADVP_CHECK_MSG(batch.rank() >= 1 && i >= 0 && i < batch.dim(0),
+                 "batch_item: index out of range");
+  std::vector<int> shape;
+  for (int d = 0; d < batch.rank(); ++d) shape.push_back(batch.dim(d));
+  shape[0] = 1;
+  Tensor out(shape);
+  const std::size_t stride = out.numel();
+  std::copy(batch.data() + static_cast<std::size_t>(i) * stride,
+            batch.data() + static_cast<std::size_t>(i + 1) * stride,
+            out.data());
+  return out;
+}
+
 void apply_mask(Tensor& t, const Tensor& mask) {
   if (mask.empty()) return;
   ADVP_CHECK_MSG(t.same_shape(mask), "apply_mask: shape mismatch");

@@ -27,7 +27,8 @@ std::vector<int> checkpoints(int steps) {
 }  // namespace
 
 AutoPgdResult auto_pgd(const Tensor& x, const AutoPgdParams& params,
-                       const GradOracle& oracle, const Tensor& mask) {
+                       const GradOracle& oracle, const Tensor& mask,
+                       const BatchGradOracle& batch_oracle) {
   ADVP_CHECK(params.steps >= 2);
   const auto ckpts = checkpoints(params.steps);
 
@@ -35,8 +36,9 @@ AutoPgdResult auto_pgd(const Tensor& x, const AutoPgdParams& params,
   Tensor x_prev = x;
   Tensor x_cur = x;
 
-  LossGrad lg = oracle(x_cur);
   AutoPgdResult res;
+  LossGrad lg = oracle(x_cur);
+  ++res.oracle_calls;
   res.x_adv = x_cur;
   res.best_loss = lg.loss;
   float f_cur = lg.loss;
@@ -52,6 +54,7 @@ AutoPgdResult auto_pgd(const Tensor& x, const AutoPgdParams& params,
     x_prev = x_cur;
     x_cur = std::move(x1);
     lg = oracle(x_cur);
+    ++res.oracle_calls;
     f_cur = lg.loss;
     if (f_cur > res.best_loss) {
       res.best_loss = f_cur;
@@ -88,13 +91,36 @@ AutoPgdResult auto_pgd(const Tensor& x, const AutoPgdParams& params,
 
     x_prev = x_cur;
     x_cur = std::move(x_next);
-    lg = oracle(x_cur);
+    float z_loss = 0.f;
+    bool have_z_loss = false;
+    if (batch_oracle) {
+      // Candidate pair {z, x_{k+1}} in one stacked forward. Only the
+      // momentum iterate's gradient drives the trajectory; z's loss feeds
+      // best-tracking below.
+      std::vector<LossGrad> pair = batch_oracle(stack_batch({z, x_cur}));
+      ADVP_CHECK_MSG(pair.size() == 2,
+                     "auto_pgd: batch oracle returned " << pair.size()
+                                                        << " results for 2");
+      res.oracle_calls += 2;
+      z_loss = pair[0].loss;
+      have_z_loss = true;
+      lg = std::move(pair[1]);
+    } else {
+      lg = oracle(x_cur);
+      ++res.oracle_calls;
+    }
     const float f_next = lg.loss;
     if (f_next > f_cur) ++successes;
     f_cur = f_next;
     if (f_cur > res.best_loss) {
       res.best_loss = f_cur;
       res.x_adv = x_cur;
+    }
+    // The extra z evaluation can only improve the best (checked after
+    // x_{k+1} so serial-visible tie decisions are unchanged).
+    if (have_z_loss && z_loss > res.best_loss) {
+      res.best_loss = z_loss;
+      res.x_adv = z;
     }
 
     // Checkpoint logic.
@@ -110,6 +136,7 @@ AutoPgdResult auto_pgd(const Tensor& x, const AutoPgdParams& params,
         x_cur = res.x_adv;  // restart from the best point
         x_prev = res.x_adv;
         lg = oracle(x_cur);
+        ++res.oracle_calls;
         f_cur = lg.loss;
       }
       successes = 0;

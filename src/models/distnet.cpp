@@ -105,13 +105,21 @@ DistLossGrad DistNet::prediction_grad(const Tensor& batch) {
   DistLossGrad r;
   float total = 0.f;
   Tensor dlogit({n, 1});
+  r.per_item.resize(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    total += p.at(i, 0) * config_.distance_scale;
+    const float meters = p.at(i, 0) * config_.distance_scale;
+    r.per_item[static_cast<std::size_t>(i)] = meters;
+    total += meters;
     dlogit.at(i, 0) = config_.distance_scale;
   }
   r.loss = total;
   r.grad = net_->backward(dlogit);
   return r;
+}
+
+void DistNet::calibrate(const std::vector<Tensor>& batches,
+                        const nn::CalibrationOptions& opts) {
+  nn::calibrate(*net_, batches, opts);
 }
 
 std::vector<nn::Param*> DistNet::params() { return net_->params(); }

@@ -14,6 +14,7 @@
 
 #include "core/rng.h"
 #include "nn/layers.h"
+#include "nn/precision.h"
 #include "tensor/tensor.h"
 
 namespace advp::models {
@@ -30,6 +31,11 @@ struct DistNetConfig {
 struct DistLossGrad {
   float loss = 0.f;
   Tensor grad;
+  /// prediction_grad only: per-image predicted distances (meters). The
+  /// oracle's sum decomposes exactly per item (each row's logit gradient
+  /// is independent), so batched attack evaluation can score candidates
+  /// from one forward.
+  std::vector<float> per_item;
 };
 
 class DistNet {
@@ -50,7 +56,13 @@ class DistNet {
 
   /// d(sum of predicted distances)/d(input): the white-box oracle for
   /// attacks that push the predicted distance in a chosen direction.
+  /// Also fills DistLossGrad::per_item with each image's prediction.
   DistLossGrad prediction_grad(const Tensor& batch);
+
+  /// Records per-layer activation ranges over `batches` for the int8
+  /// inference tier; see nn::calibrate.
+  void calibrate(const std::vector<Tensor>& batches,
+                 const nn::CalibrationOptions& opts = {});
 
   const DistNetConfig& config() const { return config_; }
   std::vector<nn::Param*> params();

@@ -165,6 +165,9 @@ float TinyYolo::objectness_score(
     const Tensor& batch, const std::vector<std::vector<Box>>& targets) {
   const int n = batch.dim(0), g = config_.grid;
   nn::InferenceModeScope inference;
+  // The black-box query surface stays fp32 regardless of any ambient
+  // precision tier: SimBA's query-budget goldens are keyed to exact scores.
+  nn::PrecisionScope fp32(GemmPrecision::kFp32);
   Tensor raw = forward_raw(batch, /*train=*/false);
   Tensor obj_target, pos_mask;
   std::vector<std::vector<std::array<float, 4>>> box_t;
@@ -182,6 +185,7 @@ std::vector<float> TinyYolo::objectness_scores(
     const Tensor& batch, const std::vector<Box>& targets) {
   const int n = batch.dim(0), g = config_.grid;
   nn::InferenceModeScope inference;
+  nn::PrecisionScope fp32(GemmPrecision::kFp32);  // see objectness_score
   Tensor raw = forward_raw(batch, /*train=*/false);
   Tensor obj_target, pos_mask;
   std::vector<std::vector<std::array<float, 4>>> box_t;
@@ -195,6 +199,19 @@ std::vector<float> TinyYolo::objectness_scores(
         if (pos_mask.at(b, 0, i, j) > 0.f)
           scores[static_cast<std::size_t>(b)] += sigmoidf(raw.at(b, 0, i, j));
   return scores;
+}
+
+void TinyYolo::calibrate(const std::vector<Tensor>& batches,
+                         const nn::CalibrationOptions& opts) {
+  // forward_raw walks backbone_ and head_, so one scoped pass records
+  // ranges for every Conv2d in the model (the bare head conv included —
+  // nn::calibrate only reaches layers inside a Sequential).
+  nn::reset_calibration(*backbone_);
+  nn::reset_calibration(*head_);
+  nn::InferenceModeScope inference;
+  nn::CalibrationScope scope(opts);
+  for (const Tensor& batch : batches) forward_raw(batch, /*train=*/false);
+  bump_weight_generation();
 }
 
 std::vector<nn::Param*> TinyYolo::params() {

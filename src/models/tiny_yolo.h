@@ -20,6 +20,7 @@
 #include "data/dataset.h"
 #include "image/image.h"
 #include "nn/layers.h"
+#include "nn/precision.h"
 
 namespace advp::models {
 
@@ -75,6 +76,12 @@ class TinyYolo {
   /// Lets black-box attacks evaluate several candidates per query round.
   std::vector<float> objectness_scores(const Tensor& batch,
                                        const std::vector<Box>& targets);
+
+  /// Records per-layer activation ranges over `batches` (backbone and head
+  /// alike) for the int8 inference tier; see nn::calibrate. Invalidates any
+  /// packed/quantized weight panels.
+  void calibrate(const std::vector<Tensor>& batches,
+                 const nn::CalibrationOptions& opts = {});
 
   nn::Sequential& backbone() { return *backbone_; }
   nn::Module& head() { return *head_; }

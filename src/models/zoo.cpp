@@ -6,6 +6,7 @@
 #include "core/check.h"
 #include "core/obs.h"
 #include "nn/optim.h"
+#include "nn/precision.h"
 #include "nn/serialize.h"
 #include "tensor/gemm.h"
 
@@ -28,6 +29,10 @@ TinyYolo clone_detector(TinyYolo& src) {
   Rng init_rng(0);  // weights are overwritten below
   TinyYolo dst(src.config(), init_rng);
   copy_params(src.params(), dst.params());
+  // Calibrated activation ranges ride along so per-worker clones quantize
+  // identically to the source under the int8 tier.
+  nn::copy_calibration(src.backbone(), dst.backbone());
+  nn::copy_calibration(src.head(), dst.head());
   return dst;
 }
 
@@ -35,6 +40,7 @@ DistNet clone_distnet(DistNet& src) {
   Rng init_rng(0);
   DistNet dst(src.config(), init_rng);
   copy_params(src.params(), dst.params());
+  nn::copy_calibration(src.net(), dst.net());
   return dst;
 }
 

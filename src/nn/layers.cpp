@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "nn/precision.h"
 #include "tensor/gemm.h"
 
 namespace advp::nn {
@@ -11,6 +12,25 @@ namespace {
 Tensor he_init(std::vector<int> shape, int fan_in, Rng& rng) {
   const float sigma = std::sqrt(2.f / static_cast<float>(fan_in));
   return Tensor::randn(std::move(shape), rng, sigma);
+}
+
+// Tier for this forward. Non-fp32 is only legal where no backward can
+// follow: eval forwards under an InferenceModeScope (which already skip
+// the backward caches) outside a calibration pass (which must observe
+// fp32 activations). Everything else — training, attack oracles, gradient
+// checks — runs fp32 no matter what scope or ADVP_PRECISION says.
+GemmPrecision resolve_precision(bool train) {
+  return (!train && InferenceModeScope::active() &&
+          !CalibrationScope::active())
+             ? PrecisionScope::active()
+             : GemmPrecision::kFp32;
+}
+
+// Records the input-activation range during a calibration pass (max-merge
+// across batches), as the scale source for the int8 tier.
+void maybe_record_range(const Tensor& x, float* range) {
+  if (CalibrationScope::active())
+    *range = std::max(*range, calibration_range(x.data(), x.numel()));
 }
 }  // namespace
 
@@ -24,19 +44,25 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
       b_("conv.b", Tensor({out_channels})) {}
 
 Tensor Conv2d::forward(const Tensor& x, bool train) {
+  maybe_record_range(x, &calib_range_);
   if (train || !InferenceModeScope::active()) x_cache_ = x;
   // The weight operand's packing is always served through the layer's
   // cache slot: optimizer steps bump the weight generation, so training
   // repacks exactly when the weights actually changed.
   ConvFusion f;
   f.weight_cache = &wpack_fwd_;
+  f.precision = resolve_precision(train);
+  f.act_scale = calib_range_ > 0.f ? calib_range_ / 127.f : 0.f;
   return conv2d_forward(x, w_.value, b_.value, spec_, &f);
 }
 
 Tensor Conv2d::forward_inference(const Tensor& x, BatchNorm2d* bn, Act act,
                                  float slope) {
+  maybe_record_range(x, &calib_range_);
   ConvFusion f;
   f.weight_cache = &wpack_fwd_;
+  f.precision = resolve_precision(/*train=*/false);
+  f.act_scale = calib_range_ > 0.f ? calib_range_ / 127.f : 0.f;
   std::vector<float> inv_std;
   if (bn) {
     // Eval-mode BN is a per-channel affine fold. inv_std is recomputed
@@ -81,6 +107,7 @@ Linear::Linear(int in_features, int out_features, Rng& rng)
 Tensor Linear::forward(const Tensor& x, bool train) {
   ADVP_CHECK_MSG(x.rank() == 2 && x.dim(1) == in_,
                  "Linear: expected [N," << in_ << "]");
+  maybe_record_range(x, &calib_range_);
   if (train || !InferenceModeScope::active()) x_cache_ = x;
   // y = x W^T: the kernel layer reads W transposed while packing, so no
   // transposed copy of the weights is materialized per forward pass. The
@@ -89,6 +116,9 @@ Tensor Linear::forward(const Tensor& x, bool train) {
   Tensor y({x.dim(0), out_});
   GemmExtra extra;
   extra.b_cache = &wpack_fwd_;
+  extra.precision = resolve_precision(train);
+  extra.weights_in_a = false;
+  extra.act_scale = calib_range_ > 0.f ? calib_range_ / 127.f : 0.f;
   gemm(x.dim(0), out_, in_, x.data(), in_, /*trans_a=*/false,
        w_.value.data(), in_, /*trans_b=*/true, y.data(), out_,
        /*accumulate=*/false, extra);
@@ -100,6 +130,7 @@ Tensor Linear::forward(const Tensor& x, bool train) {
 Tensor Linear::forward_inference(const Tensor& x, Act act, float slope) {
   ADVP_CHECK_MSG(x.rank() == 2 && x.dim(1) == in_,
                  "Linear: expected [N," << in_ << "]");
+  maybe_record_range(x, &calib_range_);
   Tensor y({x.dim(0), out_});
   GemmEpilogue ep;
   ep.bias = b_.value.data();
@@ -109,6 +140,9 @@ Tensor Linear::forward_inference(const Tensor& x, Act act, float slope) {
   GemmExtra extra;
   extra.b_cache = &wpack_fwd_;
   extra.epilogue = &ep;
+  extra.precision = resolve_precision(/*train=*/false);
+  extra.weights_in_a = false;
+  extra.act_scale = calib_range_ > 0.f ? calib_range_ / 127.f : 0.f;
   gemm(x.dim(0), out_, in_, x.data(), in_, /*trans_a=*/false,
        w_.value.data(), in_, /*trans_b=*/true, y.data(), out_,
        /*accumulate=*/false, extra);

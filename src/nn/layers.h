@@ -33,10 +33,17 @@ class Conv2d : public Module {
   Param& weight() { return w_; }
   Param& bias() { return b_; }
 
+  /// Calibrated input-activation range recorded by nn::calibrate (0 until
+  /// calibrated). Drives the int8 per-tensor activation scale (range/127);
+  /// 0 falls back to the kernel's dynamic per-call absmax.
+  float calibration_range() const { return calib_range_; }
+  void set_calibration_range(float r) { calib_range_ = r; }
+
  private:
   Conv2dSpec spec_;
   Param w_, b_;
   Tensor x_cache_;
+  float calib_range_ = 0.f;
   GemmCacheSlot wpack_fwd_;  // forward weight panels [Cout, patch]
   GemmCacheSlot wpack_bwd_;  // transposed weight panels of the dX GEMM
 };
@@ -57,10 +64,15 @@ class Linear : public Module {
   Param& weight() { return w_; }
   Param& bias() { return b_; }
 
+  /// See Conv2d::calibration_range.
+  float calibration_range() const { return calib_range_; }
+  void set_calibration_range(float r) { calib_range_ = r; }
+
  private:
   int in_ = 0, out_ = 0;
   Param w_, b_;  // w: [out, in]
   Tensor x_cache_;
+  float calib_range_ = 0.f;
   GemmCacheSlot wpack_fwd_;  // W^T as the forward GEMM's B operand
   GemmCacheSlot wpack_bwd_;  // W as the dX GEMM's B operand
 };

@@ -1,0 +1,116 @@
+// Reduced-precision inference tier selection and calibration.
+//
+// The kernel layer (tensor/gemm.h) executes whatever GemmPrecision a call
+// asks for; this file decides *which* calls ask. Three pieces:
+//
+//  - PrecisionScope: RAII selection of the inference tier. The scope is
+//    process-global (one relaxed atomic), not thread-local, so pool
+//    workers spawned inside a scoped region inherit the caller's tier —
+//    enter scopes from the orchestrating thread only, before any fan-out.
+//    With no scope active the tier comes from the ADVP_PRECISION
+//    environment variable (fp32 | bf16 | int8; unset means fp32).
+//  - CalibrationScope + calibrate(): a calibration pass runs clean batches
+//    through the network under InferenceModeScope while a (thread-local)
+//    CalibrationScope is active; Conv2d/Linear record their input
+//    activation range (absmax, or a percentile of |x| when
+//    CalibrationOptions::percentile < 1). The recorded range becomes the
+//    int8 per-tensor activation scale (range / 127). Forwards under a
+//    CalibrationScope always run fp32 — ranges describe the full-precision
+//    activation distribution.
+//  - Gradient safety: layers resolve a non-fp32 tier only on
+//    backward-free paths (eval forward under an InferenceModeScope, which
+//    already skips backward caches) — so a scoped low-precision forward
+//    followed by backward() throws, and training/attack oracles always run
+//    fp32 regardless of any scope or environment override.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+
+namespace advp::nn {
+
+class Module;
+class Sequential;
+
+/// Options for a calibration pass.
+struct CalibrationOptions {
+  /// Quantile of |activation| recorded as the range: 1 (default) is the
+  /// absolute maximum; e.g. 0.999 clips the top 0.1% of outliers, trading
+  /// saturation of rare spikes for finer resolution everywhere else.
+  float percentile = 1.f;
+};
+
+/// RAII selection of the inference precision tier. Process-global (see
+/// file comment); nests — the destructor restores the previous selection.
+class PrecisionScope {
+ public:
+  explicit PrecisionScope(GemmPrecision p);
+  ~PrecisionScope();
+  PrecisionScope(const PrecisionScope&) = delete;
+  PrecisionScope& operator=(const PrecisionScope&) = delete;
+
+  /// Tier the innermost live scope selects, or the ADVP_PRECISION
+  /// environment default (fp32 when unset) with no scope active.
+  static GemmPrecision active();
+
+ private:
+  int prev_;
+};
+
+/// RAII marker (thread-local) for a calibration pass: while active on the
+/// calling thread, Conv2d/Linear record input-activation ranges and every
+/// layer resolves to fp32.
+class CalibrationScope {
+ public:
+  explicit CalibrationScope(const CalibrationOptions& opts = {});
+  ~CalibrationScope();
+  CalibrationScope(const CalibrationScope&) = delete;
+  CalibrationScope& operator=(const CalibrationScope&) = delete;
+
+  static bool active();
+  /// Options of the innermost active scope; must not be called otherwise.
+  static const CalibrationOptions& options();
+
+ private:
+  const CalibrationOptions* prev_;
+  CalibrationOptions opts_;
+};
+
+/// @brief Parses a tier name ("fp32" | "bf16" | "int8", as accepted in
+/// ADVP_PRECISION). Returns false (and leaves *out untouched) on anything
+/// else.
+bool parse_precision(const char* name, GemmPrecision* out);
+
+/// @brief Range statistic of |data[0..n)| per the active CalibrationScope's
+/// options: absmax, or the configured percentile. Deterministic (exact
+/// selection, no sampling).
+float calibration_range(const float* data, std::size_t n);
+
+/// @brief Runs `batches` through `net` (eval mode, fp32, forward-only)
+/// recording activation ranges on every Conv2d/Linear, then invalidates
+/// all packed-weight cache slots so nothing quantized under the previous
+/// ranges survives. Previously recorded ranges are reset first — each
+/// calibrate() call describes exactly its own batches (ranges max-merge
+/// within a pass, never across passes). Serial by design: ranges are
+/// order-independent (max-merge), but the forwards reuse the net's single
+/// backward-free fast path.
+/// @throws advp::Error if a batch's shape does not fit the network.
+void calibrate(Sequential& net, const std::vector<Tensor>& batches,
+               const CalibrationOptions& opts = {});
+
+/// @brief Clears recorded calibration ranges (recursing through
+/// Sequential). Layers fall back to dynamic per-call absmax activation
+/// scales until recalibrated.
+void reset_calibration(Module& m);
+
+/// @brief Copies recorded calibration ranges from `src` onto the
+/// structurally matching modules of `dst` (recursing through Sequential
+/// children; Conv2d->Conv2d, Linear->Linear). Used by the model zoo's
+/// clone helpers so worker-slot clones quantize identically to the
+/// original.
+void copy_calibration(Module& src, Module& dst);
+
+}  // namespace advp::nn

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/parallel.h"
+#include "models/zoo.h"
 
 namespace advp::sim {
 
@@ -101,6 +103,31 @@ AccResult AccSimulator::run(const AccScenario& sc, Rng& rng,
   res.mean_abs_gap_error =
       steps > 0 ? static_cast<float>(abs_err_acc / steps) : 0.f;
   return res;
+}
+
+std::vector<AccResult> AccSimulator::run_batch(
+    const std::vector<AccScenario>& scenarios, std::uint64_t base_seed,
+    const ScenarioAttackFactory& attack_factory) {
+  const std::size_t n = scenarios.size();
+  std::vector<AccResult> out(n);
+  if (n == 0) return out;
+  // Worker-private perception clones (slot 0 simulates on perception_):
+  // model forwards cache activations inside the layers, so concurrent
+  // scenarios must not share one DistNet.
+  const bool parallel = n >= 2 && max_workers() > 1 && !in_parallel_region();
+  const std::size_t slots = parallel ? std::min(max_workers(), n) : 1;
+  std::vector<models::DistNet> clones;
+  clones.reserve(slots - 1);
+  for (std::size_t s = 1; s < slots; ++s)
+    clones.push_back(models::clone_distnet(perception_));
+  parallel_for_slotted(0, n, slots, [&](std::size_t slot, std::size_t i) {
+    models::DistNet& model = slot == 0 ? perception_ : clones[slot - 1];
+    AccSimulator sim(model, generator_, params_);
+    Rng rng(Rng::stream_seed(base_seed, i));
+    FrameHook hook = attack_factory ? attack_factory(i, model) : FrameHook();
+    out[i] = sim.run(scenarios[i], rng, hook);
+  });
+  return out;
 }
 
 }  // namespace advp::sim

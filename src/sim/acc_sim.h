@@ -73,6 +73,13 @@ struct AccResult {
   bool collided = false;
 };
 
+/// Per-scenario attack builder for AccSimulator::run_batch: receives the
+/// scenario index and the worker's private DistNet (stateful attacks like
+/// CAP must query the same instance the simulator perceives with). Return
+/// nullptr for a clean run.
+using ScenarioAttackFactory =
+    std::function<FrameHook(std::size_t index, models::DistNet& perception)>;
+
 class AccSimulator {
  public:
   AccSimulator(models::DistNet& perception,
@@ -81,6 +88,14 @@ class AccSimulator {
   /// Runs a scenario; `attack` (optional) perturbs each frame in the loop.
   AccResult run(const AccScenario& scenario, Rng& rng,
                 const FrameHook& attack = nullptr);
+
+  /// Runs `scenarios` in parallel, one result per scenario. Scenario i
+  /// draws from Rng(Rng::stream_seed(base_seed, i)) and every worker
+  /// simulates on its own perception clone, so results are bit-identical
+  /// to serial run() calls on those streams at any worker count.
+  std::vector<AccResult> run_batch(
+      const std::vector<AccScenario>& scenarios, std::uint64_t base_seed,
+      const ScenarioAttackFactory& attack_factory = nullptr);
 
   const AccParams& params() const { return params_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
@@ -318,13 +319,16 @@ void apply_epilogue(const GemmEpilogue& ep, float* c, int ldc, int row0,
 
 // Validates `slot` against the operand key. On a hit the packed panels are
 // already in the slot; on a miss the buffer is resized to `floats` and the
-// caller repacks into it.
+// caller repacks into it. The precision is part of the key, so switching a
+// layer's tier (or recalibrating, which bumps the weight generation)
+// always repacks — a slot never serves panels quantized for another tier.
 bool cache_lookup(GemmCacheSlot* slot, const float* src, int d0, int d1,
-                  int ld, bool trans, std::size_t floats) {
+                  int ld, bool trans, std::size_t floats,
+                  GemmPrecision prec) {
   const std::uint64_t gen = weight_generation();
   if (slot->src == src && slot->d0 == d0 && slot->d1 == d1 &&
       slot->ld == ld && slot->trans == trans && slot->generation == gen &&
-      slot->packed.size_floats() >= floats) {
+      slot->precision == prec && slot->packed.size_floats() >= floats) {
     ADVP_OBS_COUNT(kPackCacheHits, 1);
     return true;
   }
@@ -335,8 +339,15 @@ bool cache_lookup(GemmCacheSlot* slot, const float* src, int d0, int d1,
   slot->ld = ld;
   slot->trans = trans;
   slot->generation = gen;
+  slot->precision = prec;
   ADVP_OBS_COUNT(kPackCacheMisses, 1);
   return false;
+}
+
+// Bytes of non-float packed storage expressed in the AlignedBuffer's float
+// granularity, rounded up.
+inline std::size_t floats_for_bytes(std::size_t bytes) {
+  return (bytes + sizeof(float) - 1) / sizeof(float);
 }
 
 using MicroFn = void (*)(int, const float*, const float*, float*, int, bool);
@@ -375,7 +386,975 @@ void micro_edge(MicroFn micro, int kc, const float* ap, const float* bp,
       c[static_cast<std::size_t>(r) * ldc + j] = tile[r * kNr + j];
 }
 
+// ---- bf16 tier -------------------------------------------------------------
+//
+// Identical panel layout and FMA chain to the fp32 path; only the packed
+// storage narrows to bf16 (round-to-nearest-even). Widening back to fp32 is
+// exact (a bf16 value is an fp32 value with a zero low mantissa), so the
+// per-element accumulation is the fp32 kernel's run on rounded inputs —
+// bit-identical across backends, worker counts, and blocking geometry for
+// the same reason the fp32 path is.
+
+using bf16_t = std::uint16_t;
+
+// Vectorized fp32 -> bf16 conversion of a contiguous run. The AVX512-BF16
+// instruction rounds to nearest even, matching bf16_from_f32 exactly for
+// every normal value, so which path runs never changes the packed bits.
+#if defined(ADVP_GEMM_AVX512) && defined(__AVX512BF16__)
+inline void bf16_run(const float* src, int count, bf16_t* dst) {
+  int i = 0;
+  for (; i + 16 <= count; i += 16) {
+    const __m256bh h = _mm512_cvtneps_pbh(_mm512_loadu_ps(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        reinterpret_cast<const __m256i&>(h));
+  }
+  for (; i < count; ++i) dst[i] = bf16_from_f32(src[i]);
+}
+#else
+inline void bf16_run(const float* src, int count, bf16_t* dst) {
+  for (int i = 0; i < count; ++i) dst[i] = bf16_from_f32(src[i]);
+}
+#endif
+
+void pack_a_bf16(const float* a, int lda, bool trans_a, int m, int k,
+                 bf16_t* ap) {
+  for (int ip = 0; ip < m; ip += kMr) {
+    const int mr = std::min(kMr, m - ip);
+    bf16_t* panel = ap + static_cast<std::size_t>(ip / kMr) * kMr * k;
+    for (int kk = 0; kk < k; ++kk) {
+      bf16_t* dst = panel + static_cast<std::size_t>(kk) * kMr;
+      for (int r = 0; r < kMr; ++r)
+        dst[r] = r < mr ? bf16_from_f32(a_at(a, lda, trans_a, ip + r, kk))
+                        : bf16_t{0};
+    }
+  }
+  ADVP_OBS_COUNT(kGemmPackBytes,
+                 static_cast<std::uint64_t>(round_up(m, kMr)) * k *
+                     sizeof(bf16_t));
+}
+
+void pack_b_bf16(const float* b, int ldb, bool trans_b, int pc, int kc,
+                 int j0, int nw, bf16_t* bp) {
+  for (int jp = 0; jp < nw; jp += kNr) {
+    const int nr = std::min(kNr, nw - jp);
+    bf16_t* panel = bp + static_cast<std::size_t>(jp / kNr) * kc * kNr;
+    for (int kk = 0; kk < kc; ++kk) {
+      bf16_t* dst = panel + static_cast<std::size_t>(kk) * kNr;
+      if (!trans_b && nr == kNr) {
+        // Hot layout: the panel row is one contiguous source run.
+        bf16_run(b + static_cast<std::size_t>(pc + kk) * ldb + j0 + jp, kNr,
+                 dst);
+        continue;
+      }
+      for (int j = 0; j < kNr; ++j)
+        dst[j] = j < nr ? bf16_from_f32(
+                              b_at(b, ldb, trans_b, pc + kk, j0 + jp + j))
+                        : bf16_t{0};
+    }
+  }
+  ADVP_OBS_COUNT(kGemmPackBytes,
+                 static_cast<std::uint64_t>(kc) * round_up(nw, kNr) *
+                     sizeof(bf16_t));
+}
+
+void micro_bf16_portable(int kc, const bf16_t* ap, const bf16_t* bp,
+                         float* c, int ldc, bool zero_init) {
+  float acc[kMr][kNr];
+  for (int r = 0; r < kMr; ++r)
+    for (int j = 0; j < kNr; ++j)
+      acc[r][j] = zero_init ? 0.f : c[static_cast<std::size_t>(r) * ldc + j];
+  for (int kk = 0; kk < kc; ++kk) {
+    const bf16_t* brow = bp + static_cast<std::size_t>(kk) * kNr;
+    const bf16_t* arow = ap + static_cast<std::size_t>(kk) * kMr;
+    float bw[kNr];
+    for (int j = 0; j < kNr; ++j) bw[j] = bf16_to_f32(brow[j]);
+    for (int r = 0; r < kMr; ++r) {
+      const float av = bf16_to_f32(arow[r]);
+      for (int j = 0; j < kNr; ++j) acc[r][j] += av * bw[j];
+    }
+  }
+  for (int r = 0; r < kMr; ++r)
+    for (int j = 0; j < kNr; ++j)
+      c[static_cast<std::size_t>(r) * ldc + j] = acc[r][j];
+}
+
+#ifdef ADVP_GEMM_AVX512
+// 16 bf16 values widened to fp32 lanes: zero-extend to 32 bits, shift the
+// payload into the high half. Exact.
+inline __m512 bf16_widen16(const bf16_t* p) {
+  const __m256i h =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  return _mm512_castsi512_ps(
+      _mm512_slli_epi32(_mm512_cvtepu16_epi32(h), 16));
+}
+
+void micro_bf16_avx512(int kc, const bf16_t* ap, const bf16_t* bp, float* c,
+                       int ldc, bool zero_init) {
+  __m512 acc[kMr][2];
+  for (int r = 0; r < kMr; ++r) {
+    if (zero_init) {
+      acc[r][0] = _mm512_setzero_ps();
+      acc[r][1] = _mm512_setzero_ps();
+    } else {
+      acc[r][0] = _mm512_loadu_ps(c + static_cast<std::size_t>(r) * ldc);
+      acc[r][1] =
+          _mm512_loadu_ps(c + static_cast<std::size_t>(r) * ldc + 16);
+    }
+  }
+  for (int kk = 0; kk < kc; ++kk) {
+    const bf16_t* brow = bp + static_cast<std::size_t>(kk) * kNr;
+    const bf16_t* arow = ap + static_cast<std::size_t>(kk) * kMr;
+    const __m512 b0 = bf16_widen16(brow);
+    const __m512 b1 = bf16_widen16(brow + 16);
+    for (int r = 0; r < kMr; ++r) {
+      // Widen-in-register broadcast: shift the bf16 payload into the high
+      // half of each 32-bit lane (exact, same value as bf16_to_f32).
+      const __m512 av = _mm512_castsi512_ps(
+          _mm512_slli_epi32(_mm512_set1_epi32(arow[r]), 16));
+      acc[r][0] = _mm512_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm512_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < kMr; ++r) {
+    _mm512_storeu_ps(c + static_cast<std::size_t>(r) * ldc, acc[r][0]);
+    _mm512_storeu_ps(c + static_cast<std::size_t>(r) * ldc + 16, acc[r][1]);
+  }
+}
+#endif
+
+#ifdef ADVP_GEMM_AVX2
+inline __m256 bf16_widen8(const bf16_t* p) {
+  const __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  return _mm256_castsi256_ps(
+      _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16));
+}
+
+void micro_bf16_avx2(int kc, const bf16_t* ap, const bf16_t* bp, float* c,
+                     int ldc, bool zero_init) {
+  __m256 acc[kMr][2];
+  for (int r = 0; r < kMr; ++r) {
+    if (zero_init) {
+      acc[r][0] = _mm256_setzero_ps();
+      acc[r][1] = _mm256_setzero_ps();
+    } else {
+      acc[r][0] = _mm256_loadu_ps(c + static_cast<std::size_t>(r) * ldc);
+      acc[r][1] = _mm256_loadu_ps(c + static_cast<std::size_t>(r) * ldc + 8);
+    }
+  }
+  for (int kk = 0; kk < kc; ++kk) {
+    const bf16_t* brow = bp + static_cast<std::size_t>(kk) * kNr;
+    const bf16_t* arow = ap + static_cast<std::size_t>(kk) * kMr;
+    const __m256 b0 = bf16_widen8(brow);
+    const __m256 b1 = bf16_widen8(brow + 8);
+    for (int r = 0; r < kMr; ++r) {
+      const __m256 av = _mm256_castsi256_ps(
+          _mm256_slli_epi32(_mm256_set1_epi32(arow[r]), 16));
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < kMr; ++r) {
+    _mm256_storeu_ps(c + static_cast<std::size_t>(r) * ldc, acc[r][0]);
+    _mm256_storeu_ps(c + static_cast<std::size_t>(r) * ldc + 8, acc[r][1]);
+  }
+}
+#endif
+
+using Bf16MicroFn = void (*)(int, const bf16_t*, const bf16_t*, float*, int,
+                             bool);
+
+Bf16MicroFn pick_micro_bf16() {
+#if defined(ADVP_GEMM_AVX512)
+  if (!g_force_portable.load(std::memory_order_relaxed))
+    return micro_bf16_avx512;
+#elif defined(ADVP_GEMM_AVX2)
+  if (!g_force_portable.load(std::memory_order_relaxed))
+    return micro_bf16_avx2;
+#endif
+  return micro_bf16_portable;
+}
+
+void micro_edge_bf16(Bf16MicroFn micro, int kc, const bf16_t* ap,
+                     const bf16_t* bp, float* c, int ldc, bool zero_init,
+                     int mr, int nr) {
+  if (mr == kMr && nr == kNr) {
+    micro(kc, ap, bp, c, ldc, zero_init);
+    return;
+  }
+  float tile[kMr * kNr];
+  if (zero_init) {
+    std::fill(tile, tile + kMr * kNr, 0.f);
+  } else {
+    for (int r = 0; r < kMr; ++r)
+      for (int j = 0; j < kNr; ++j)
+        tile[r * kNr + j] =
+            (r < mr && j < nr) ? c[static_cast<std::size_t>(r) * ldc + j]
+                               : 0.f;
+  }
+  micro(kc, ap, bp, tile, kNr, false);
+  for (int r = 0; r < mr; ++r)
+    for (int j = 0; j < nr; ++j)
+      c[static_cast<std::size_t>(r) * ldc + j] = tile[r * kNr + j];
+}
+
+// bf16 twin of the fp32 gemm() body: same Mc/Kc blocking, same column
+// stripes, same cached-operand layouts (in bf16 elements instead of
+// floats). accumulate is rejected at dispatch, so the first Kc panel
+// always zero-initializes.
+void gemm_bf16(int m, int n, int k, const float* a, int lda, bool trans_a,
+               const float* b, int ldb, bool trans_b, float* c, int ldc,
+               const GemmExtra& extra) {
+  const GemmEpilogue* ep = extra.epilogue;
+  Bf16MicroFn micro = pick_micro_bf16();
+
+  const bool cache_on = pack_cache_enabled();
+  GemmCacheSlot* ac = cache_on ? extra.a_cache : nullptr;
+  GemmCacheSlot* bc = cache_on ? extra.b_cache : nullptr;
+
+  const std::size_t a_elems =
+      static_cast<std::size_t>(round_up(m, kMr)) * k;
+  ScratchArena& main_arena = ScratchArena::local();
+  ScratchArena::Frame a_frame(main_arena);
+  const bf16_t* ap;
+  if (ac) {
+    if (!cache_lookup(ac, a, m, k, lda, trans_a,
+                      floats_for_bytes(a_elems * sizeof(bf16_t)),
+                      GemmPrecision::kBf16))
+      pack_a_bf16(a, lda, trans_a, m, k,
+                  reinterpret_cast<bf16_t*>(ac->packed.data()));
+    ap = reinterpret_cast<const bf16_t*>(ac->packed.data());
+  } else {
+    bf16_t* buf = static_cast<bf16_t*>(
+        main_arena.alloc_bytes(a_elems * sizeof(bf16_t)));
+    pack_a_bf16(a, lda, trans_a, m, k, buf);
+    ap = buf;
+  }
+
+  // Canonical cached-B layout (stripe-independent), as in fp32: the Kc
+  // block starting at row pc begins at element offset npad*pc.
+  const int npad = round_up(n, kNr);
+  const bf16_t* b_cached = nullptr;
+  if (bc) {
+    const std::size_t b_elems = static_cast<std::size_t>(npad) * k;
+    if (!cache_lookup(bc, b, k, n, ldb, trans_b,
+                      floats_for_bytes(b_elems * sizeof(bf16_t)),
+                      GemmPrecision::kBf16)) {
+      bf16_t* base = reinterpret_cast<bf16_t*>(bc->packed.data());
+      for (int pc = 0; pc < k; pc += kKc) {
+        const int kc = std::min(kKc, k - pc);
+        pack_b_bf16(b, ldb, trans_b, pc, kc, 0, n,
+                    base + static_cast<std::size_t>(npad) * pc);
+      }
+    }
+    b_cached = reinterpret_cast<const bf16_t*>(bc->packed.data());
+  }
+
+  const std::size_t macs =
+      static_cast<std::size_t>(m) * n * static_cast<std::size_t>(k);
+  const bool fan_out =
+      macs >= kParallelMacLimit && max_workers() > 1 && !in_parallel_region();
+  int stripe_w = kNc;
+  if (fan_out) {
+    const int per_worker =
+        (n + static_cast<int>(max_workers()) - 1) /
+        static_cast<int>(max_workers());
+    stripe_w = std::clamp(round_up(per_worker, kNr), kNr, kNc);
+  }
+  const std::size_t stripes =
+      (static_cast<std::size_t>(n) + stripe_w - 1) / stripe_w;
+
+  auto run_stripe = [&](std::size_t s) {
+    const int j0 = static_cast<int>(s) * stripe_w;
+    const int nw = std::min(stripe_w, n - j0);
+    const int nw_pad = round_up(nw, kNr);
+    ScratchArena& arena = ScratchArena::local();
+    ScratchArena::Frame frame(arena);
+    bf16_t* bp_scratch =
+        b_cached ? nullptr
+                 : static_cast<bf16_t*>(arena.alloc_bytes(
+                       static_cast<std::size_t>(std::min(kKc, k)) * nw_pad *
+                       sizeof(bf16_t)));
+    for (int pc = 0; pc < k; pc += kKc) {
+      const int kc = std::min(kKc, k - pc);
+      const bf16_t* bp;
+      if (b_cached) {
+        bp = b_cached + static_cast<std::size_t>(npad) * pc +
+             static_cast<std::size_t>(j0 / kNr) * kc * kNr;
+      } else {
+        pack_b_bf16(b, ldb, trans_b, pc, kc, j0, nw, bp_scratch);
+        bp = bp_scratch;
+      }
+      const bool zero_first = pc == 0;
+      const bool last_panel = pc + kc == k;
+      for (int ic = 0; ic < m; ic += kMc) {
+        const int mc = std::min(kMc, m - ic);
+        for (int jp = 0; jp < nw; jp += kNr) {
+          const bf16_t* bpanel =
+              bp + static_cast<std::size_t>(jp / kNr) * kc * kNr;
+          const int nr = std::min(kNr, nw - jp);
+          for (int ir = 0; ir < mc; ir += kMr) {
+            const int row = ic + ir;
+            const bf16_t* apanel =
+                ap + static_cast<std::size_t>(row / kMr) * kMr * k +
+                static_cast<std::size_t>(pc) * kMr;
+            const int mr = std::min(kMr, m - row);
+            float* cptr = c + static_cast<std::size_t>(row) * ldc + j0 + jp;
+            micro_edge_bf16(micro, kc, apanel, bpanel, cptr, ldc, zero_first,
+                            mr, nr);
+            if (last_panel && ep)
+              apply_epilogue(*ep, cptr, ldc, row, j0 + jp, mr, nr);
+          }
+        }
+      }
+    }
+  };
+
+  if (fan_out && stripes > 1)
+    parallel_for(0, stripes, 1, run_stripe);
+  else
+    for (std::size_t s = 0; s < stripes; ++s) run_stripe(s);
+}
+
+// ---- int8 tier -------------------------------------------------------------
+//
+// Weights are quantized symmetrically per output channel at pack time (the
+// scales live next to the packed panels in the cache slot); the activation
+// operand is quantized per tensor with a calibrated scale, or a dynamic
+// absmax computed serially before any fan-out. Panels interleave k in
+// quads of bytes, with the activation operand's bytes biased by +128 into
+// the unsigned range at pack time: the AVX-512 kernel then runs the VNNI
+// byte dot product (vpdpbusd — four u8*s8 MACs per lane per instruction,
+// 4x the per-instruction MAC rate of fp32 FMA; the four int16
+// intermediates are exact since |u*s| <= 255*127 < 2^15). The +128 bias
+// is removed after the k loop by subtracting a per-output-channel
+// compensation term 128 * sum_k(w_q), computed once when the weights are
+// quantized and cached next to their scales. |biased acc| <= 255*127*k,
+// so int32 accumulation is exact up to k = 66000 (checked). Integer
+// addition is associative and the portable kernel computes the identical
+// biased sum, so every backend and blocking produces identical
+// accumulators; the only float ops are the per-element quantize (shared
+// helper) and the dequant at write-back, both fixed-order — int8 results
+// are bit-identical everywhere. Builds without AVX-512 VNNI fall back to
+// the portable kernel (same bits; the speed contract is gated on VNNI
+// hardware in bench/micro_gemm).
+
+// quantize = clamp to [-127, 127] in the float domain, then round to
+// nearest even. The float-domain clamp means the integer conversion can
+// never overflow, so the scalar path (lrintf under the default rounding
+// mode) and the SIMD path (cvtps_epi32, also RNE) produce the same integer
+// for every input — quantization is backend-independent.
+inline std::int8_t quantize8(float v, float inv_scale) {
+  float s = v * inv_scale;
+  s = s > 127.f ? 127.f : s;
+  s = s < -127.f ? -127.f : s;
+  return static_cast<std::int8_t>(std::lrintf(s));
+}
+
+// Vectorized quantization of a contiguous run under one scale.
+void quantize_run(const float* src, std::size_t count, float inv,
+                  std::int8_t* dst) {
+  std::size_t i = 0;
+#ifdef ADVP_GEMM_AVX512
+  const __m512 vinv = _mm512_set1_ps(inv);
+  const __m512 lo = _mm512_set1_ps(-127.f);
+  const __m512 hi = _mm512_set1_ps(127.f);
+  for (; i + 16 <= count; i += 16) {
+    __m512 s = _mm512_mul_ps(_mm512_loadu_ps(src + i), vinv);
+    s = _mm512_max_ps(_mm512_min_ps(s, hi), lo);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm512_cvtepi32_epi8(_mm512_cvtps_epi32(s)));
+  }
+#endif
+  for (; i < count; ++i) dst[i] = quantize8(src[i], inv);
+}
+
+float absmax_a(const float* a, int lda, bool trans_a, int m, int k) {
+  float amax = 0.f;
+  for (int i = 0; i < m; ++i)
+    for (int kk = 0; kk < k; ++kk) {
+      const float v = std::fabs(a_at(a, lda, trans_a, i, kk));
+      if (v > amax) amax = v;
+    }
+  return amax;
+}
+
+float absmax_b(const float* b, int ldb, bool trans_b, int k, int n) {
+  float amax = 0.f;
+  for (int kk = 0; kk < k; ++kk)
+    for (int j = 0; j < n; ++j) {
+      const float v = std::fabs(b_at(b, ldb, trans_b, kk, j));
+      if (v > amax) amax = v;
+    }
+  return amax;
+}
+
+// Per-row (op(A)) / per-column (op(B)) symmetric scales: absmax / 127.
+// An all-zero channel gets scale 0 (its quantized values and outputs are
+// exactly zero, matching the fp32 product).
+void weight_scales_a(const float* a, int lda, bool trans_a, int m, int k,
+                     float* scales) {
+  for (int i = 0; i < m; ++i) {
+    float amax = 0.f;
+    for (int kk = 0; kk < k; ++kk) {
+      const float v = std::fabs(a_at(a, lda, trans_a, i, kk));
+      if (v > amax) amax = v;
+    }
+    scales[i] = amax / 127.f;
+  }
+}
+
+void weight_scales_b(const float* b, int ldb, bool trans_b, int k, int n,
+                     float* scales) {
+  for (int j = 0; j < n; ++j) {
+    float amax = 0.f;
+    for (int kk = 0; kk < k; ++kk) {
+      const float v = std::fabs(b_at(b, ldb, trans_b, kk, j));
+      if (v > amax) amax = v;
+    }
+    scales[j] = amax / 127.f;
+  }
+}
+
+// Quantization runs through a dense int8 staging copy of the operand, in
+// whichever orientation keeps the source rows contiguous — so the hot
+// layouts (non-transposed activations, per-channel weights whose channels
+// are contiguous) quantize fully vectorized, and the panel interleave that
+// follows is pure integer work.
+//   A staging: st[i*k + kk] when !trans_a, st[kk*m + i] when trans_a.
+//   B staging: st[kk*n + j] when !trans_b, st[j*k + kk] when trans_b.
+
+void stage_a_int8(const float* a, int lda, bool trans_a, int m, int k,
+                  const float* inv_row, float inv_uniform, std::int8_t* st) {
+  if (!trans_a) {
+    for (int i = 0; i < m; ++i)
+      quantize_run(a + static_cast<std::size_t>(i) * lda, k,
+                   inv_row ? inv_row[i] : inv_uniform,
+                   st + static_cast<std::size_t>(i) * k);
+  } else if (!inv_row) {
+    for (int kk = 0; kk < k; ++kk)
+      quantize_run(a + static_cast<std::size_t>(kk) * lda, m, inv_uniform,
+                   st + static_cast<std::size_t>(kk) * m);
+  } else {
+    for (int kk = 0; kk < k; ++kk) {
+      const float* srow = a + static_cast<std::size_t>(kk) * lda;
+      std::int8_t* drow = st + static_cast<std::size_t>(kk) * m;
+      for (int i = 0; i < m; ++i) drow[i] = quantize8(srow[i], inv_row[i]);
+    }
+  }
+}
+
+inline std::int8_t staged_a(const std::int8_t* st, bool trans_a, int m,
+                            int k, int i, int kk) {
+  return trans_a ? st[static_cast<std::size_t>(kk) * m + i]
+                 : st[static_cast<std::size_t>(i) * k + kk];
+}
+
+void stage_b_int8(const float* b, int ldb, bool trans_b, int k, int n,
+                  const float* inv_col, float inv_uniform, std::int8_t* st) {
+  if (trans_b) {
+    for (int j = 0; j < n; ++j)
+      quantize_run(b + static_cast<std::size_t>(j) * ldb, k,
+                   inv_col ? inv_col[j] : inv_uniform,
+                   st + static_cast<std::size_t>(j) * k);
+  } else if (!inv_col) {
+    for (int kk = 0; kk < k; ++kk)
+      quantize_run(b + static_cast<std::size_t>(kk) * ldb, n, inv_uniform,
+                   st + static_cast<std::size_t>(kk) * n);
+  } else {
+    for (int kk = 0; kk < k; ++kk) {
+      const float* srow = b + static_cast<std::size_t>(kk) * ldb;
+      std::int8_t* drow = st + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) drow[j] = quantize8(srow[j], inv_col[j]);
+    }
+  }
+}
+
+inline std::int8_t staged_b(const std::int8_t* st, bool trans_b, int k,
+                            int n, int kk, int j) {
+  return trans_b ? st[static_cast<std::size_t>(j) * k + kk]
+                 : st[static_cast<std::size_t>(kk) * n + j];
+}
+
+// int8 A panels span the full (quad-padded) k range: element (r, kk) of
+// row-panel p lives at panel[(kk/4)*kMr*4 + r*4 + (kk&3)], so the kernel
+// broadcasts a row's four k-lane bytes with one 32-bit load. When A holds
+// the activations (weights_in_a == false) the bytes carry the +128 bias
+// (see tier comment). Padding bytes are 0 in either role; a padded lane
+// always meets the other operand's zero padding, so it contributes
+// nothing to any stored output.
+void pack_a_int8(const std::int8_t* st, bool trans_a, int m, int k,
+                 bool biased, std::int8_t* ap) {
+  const int kpad = round_up(k, 4);
+  const std::uint8_t flip = biased ? 0x80u : 0u;
+  for (int ip = 0; ip < m; ip += kMr) {
+    const int mr = std::min(kMr, m - ip);
+    std::int8_t* panel =
+        ap + static_cast<std::size_t>(ip / kMr) * kMr * kpad;
+    for (int kq = 0; kq < kpad / 4; ++kq) {
+      std::int8_t* dst = panel + static_cast<std::size_t>(kq) * kMr * 4;
+      for (int r = 0; r < kMr; ++r)
+        for (int t = 0; t < 4; ++t) {
+          const int kk = 4 * kq + t;
+          dst[r * 4 + t] =
+              (r < mr && kk < k)
+                  ? static_cast<std::int8_t>(
+                        static_cast<std::uint8_t>(
+                            staged_a(st, trans_a, m, k, ip + r, kk)) ^
+                        flip)
+                  : std::int8_t{0};
+        }
+    }
+  }
+  ADVP_OBS_COUNT(kGemmPackBytes,
+                 static_cast<std::uint64_t>(round_up(m, kMr)) * kpad);
+}
+
+// int8 B panels also span the full k range (the int8 path has no Kc loop —
+// see gemm_int8): element (kk, j) of column-panel jp lives at
+// panel[(kk/4)*kNr*4 + (j - jp)*4 + (kk&3)]. Bytes carry the +128 bias
+// when B holds the activations. The hot layout (!trans_b, full panel,
+// four staged k rows in range) byte-transposes the rows into column quads
+// with SIMD unpacks.
+void pack_b_int8(const std::int8_t* st, bool trans_b, int k, int n, int j0,
+                 int nw, bool biased, std::int8_t* bp) {
+  const int kpad = round_up(k, 4);
+  const std::uint8_t flip = biased ? 0x80u : 0u;
+  for (int jp = 0; jp < nw; jp += kNr) {
+    const int nr = std::min(kNr, nw - jp);
+    std::int8_t* panel =
+        bp + static_cast<std::size_t>(jp / kNr) * kpad * kNr;
+    for (int kq = 0; kq < kpad / 4; ++kq) {
+      std::int8_t* dst = panel + static_cast<std::size_t>(kq) * kNr * 4;
+      const int k0 = 4 * kq;
+      if (!trans_b && nr == kNr && k0 + 3 < k) {
+        const std::int8_t* s0 =
+            st + static_cast<std::size_t>(k0) * n + j0 + jp;
+        const std::int8_t* s1 = s0 + n;
+        const std::int8_t* s2 = s1 + n;
+        const std::int8_t* s3 = s2 + n;
+#ifdef ADVP_GEMM_AVX512
+        // kNr == 32: transpose four 32-byte k rows into 32 column quads.
+        // unpacklo/hi_epi8 pairs rows (0,1) and (2,3) per 128-bit lane,
+        // unpacklo/hi_epi16 merges the pairs into 4-byte column quads, and
+        // the cross-lane permutes restore ascending column order.
+        const __m256i bias = _mm256_set1_epi8(static_cast<char>(flip));
+        const __m256i r0 = _mm256_xor_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s0)), bias);
+        const __m256i r1 = _mm256_xor_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s1)), bias);
+        const __m256i r2 = _mm256_xor_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s2)), bias);
+        const __m256i r3 = _mm256_xor_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s3)), bias);
+        const __m256i t0 = _mm256_unpacklo_epi8(r0, r1);
+        const __m256i t1 = _mm256_unpackhi_epi8(r0, r1);
+        const __m256i t2 = _mm256_unpacklo_epi8(r2, r3);
+        const __m256i t3 = _mm256_unpackhi_epi8(r2, r3);
+        const __m256i q0 = _mm256_unpacklo_epi16(t0, t2);
+        const __m256i q1 = _mm256_unpackhi_epi16(t0, t2);
+        const __m256i q2 = _mm256_unpacklo_epi16(t1, t3);
+        const __m256i q3 = _mm256_unpackhi_epi16(t1, t3);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                            _mm256_permute2x128_si256(q0, q1, 0x20));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 32),
+                            _mm256_permute2x128_si256(q2, q3, 0x20));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 64),
+                            _mm256_permute2x128_si256(q0, q1, 0x31));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 96),
+                            _mm256_permute2x128_si256(q2, q3, 0x31));
+#elif defined(ADVP_GEMM_AVX2)
+        // kNr == 16: transpose four 16-byte k rows into 16 column quads.
+        const __m128i bias = _mm_set1_epi8(static_cast<char>(flip));
+        const __m128i r0 = _mm_xor_si128(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(s0)), bias);
+        const __m128i r1 = _mm_xor_si128(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(s1)), bias);
+        const __m128i r2 = _mm_xor_si128(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(s2)), bias);
+        const __m128i r3 = _mm_xor_si128(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(s3)), bias);
+        const __m128i t0 = _mm_unpacklo_epi8(r0, r1);
+        const __m128i t1 = _mm_unpackhi_epi8(r0, r1);
+        const __m128i t2 = _mm_unpacklo_epi8(r2, r3);
+        const __m128i t3 = _mm_unpackhi_epi8(r2, r3);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst),
+                         _mm_unpacklo_epi16(t0, t2));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 16),
+                         _mm_unpackhi_epi16(t0, t2));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 32),
+                         _mm_unpacklo_epi16(t1, t3));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 48),
+                         _mm_unpackhi_epi16(t1, t3));
+#else
+        for (int j = 0; j < kNr; ++j)
+          for (int t = 0; t < 4; ++t)
+            dst[j * 4 + t] = static_cast<std::int8_t>(
+                static_cast<std::uint8_t>((t == 0   ? s0
+                                           : t == 1 ? s1
+                                           : t == 2 ? s2
+                                                    : s3)[j]) ^
+                flip);
+#endif
+        continue;
+      }
+      for (int j = 0; j < kNr; ++j)
+        for (int t = 0; t < 4; ++t) {
+          const int kk = k0 + t;
+          dst[j * 4 + t] =
+              (j < nr && kk < k)
+                  ? static_cast<std::int8_t>(
+                        static_cast<std::uint8_t>(staged_b(
+                            st, trans_b, k, n, kk, j0 + jp + j)) ^
+                        flip)
+                  : std::int8_t{0};
+        }
+    }
+  }
+  ADVP_OBS_COUNT(kGemmPackBytes,
+                 static_cast<std::uint64_t>(kpad) * round_up(nw, kNr));
+}
+
+// int8 micro-kernels: full-k accumulation of a kMr x kNr tile of the
+// *biased* integer sum (the activation operand's bytes carry +128) into an
+// int32 scratch tile; the caller subtracts the per-channel compensation
+// and dequantizes into C. kASigned says which operand is the signed
+// (weight) side: true = A signed / B biased-unsigned, false = the reverse.
+// Both backends compute the identical integer.
+
+template <bool kASigned>
+void micro_int8_portable(int kquads, const std::int8_t* ap,
+                         const std::int8_t* bp, std::int32_t* acc) {
+  std::fill(acc, acc + kMr * kNr, 0);
+  for (int kq = 0; kq < kquads; ++kq) {
+    const std::int8_t* arow = ap + static_cast<std::size_t>(kq) * kMr * 4;
+    const std::int8_t* brow = bp + static_cast<std::size_t>(kq) * kNr * 4;
+    for (int r = 0; r < kMr; ++r) {
+      std::int32_t av[4];
+      for (int t = 0; t < 4; ++t)
+        av[t] = kASigned ? static_cast<std::int32_t>(arow[r * 4 + t])
+                         : static_cast<std::int32_t>(
+                               static_cast<std::uint8_t>(arow[r * 4 + t]));
+      std::int32_t* accrow = acc + r * kNr;
+      for (int j = 0; j < kNr; ++j) {
+        const std::int8_t* bq = brow + j * 4;
+        std::int32_t sum = 0;
+        for (int t = 0; t < 4; ++t) {
+          const std::int32_t bv =
+              kASigned ? static_cast<std::int32_t>(
+                             static_cast<std::uint8_t>(bq[t]))
+                       : static_cast<std::int32_t>(bq[t]);
+          sum += av[t] * bv;
+        }
+        accrow[j] += sum;
+      }
+    }
+  }
+}
+
+#if defined(ADVP_GEMM_AVX512) && defined(__AVX512VNNI__)
+template <bool kASigned>
+void micro_int8_avx512(int kquads, const std::int8_t* ap,
+                       const std::int8_t* bp, std::int32_t* acc) {
+  __m512i vacc[kMr][2];
+  for (int r = 0; r < kMr; ++r) {
+    vacc[r][0] = _mm512_setzero_si512();
+    vacc[r][1] = _mm512_setzero_si512();
+  }
+  const std::int32_t* aquads = reinterpret_cast<const std::int32_t*>(ap);
+  for (int kq = 0; kq < kquads; ++kq) {
+    const std::int32_t* arow = aquads + static_cast<std::size_t>(kq) * kMr;
+    const std::int8_t* brow = bp + static_cast<std::size_t>(kq) * kNr * 4;
+    // 32 column quads, one dword per column: b0 covers columns 0..15, b1
+    // columns 16..31.
+    const __m512i b0 = _mm512_loadu_si512(brow);
+    const __m512i b1 = _mm512_loadu_si512(brow + 64);
+    for (int r = 0; r < kMr; ++r) {
+      // One 32-bit broadcast feeds vpdpbusd with the row's four k bytes;
+      // the intrinsic's first multiplicand is the unsigned (biased
+      // activation) operand, the second the signed weights.
+      const __m512i av = _mm512_set1_epi32(arow[r]);
+      if (kASigned) {
+        vacc[r][0] = _mm512_dpbusd_epi32(vacc[r][0], b0, av);
+        vacc[r][1] = _mm512_dpbusd_epi32(vacc[r][1], b1, av);
+      } else {
+        vacc[r][0] = _mm512_dpbusd_epi32(vacc[r][0], av, b0);
+        vacc[r][1] = _mm512_dpbusd_epi32(vacc[r][1], av, b1);
+      }
+    }
+  }
+  for (int r = 0; r < kMr; ++r) {
+    _mm512_storeu_si512(acc + r * kNr, vacc[r][0]);
+    _mm512_storeu_si512(acc + r * kNr + 16, vacc[r][1]);
+  }
+}
+#endif
+
+using Int8MicroFn = void (*)(int, const std::int8_t*, const std::int8_t*,
+                             std::int32_t*);
+
+Int8MicroFn pick_micro_int8(bool a_signed) {
+#if defined(ADVP_GEMM_AVX512) && defined(__AVX512VNNI__)
+  if (!g_force_portable.load(std::memory_order_relaxed))
+    return a_signed ? micro_int8_avx512<true> : micro_int8_avx512<false>;
+#endif
+  return a_signed ? micro_int8_portable<true> : micro_int8_portable<false>;
+}
+
+// int8 orchestration. Unlike fp32/bf16 there is no Kc loop: C holds
+// dequantized floats, so partial integer sums cannot round-trip through it.
+// Panels span the full k range and each tile is accumulated to completion
+// in one micro-kernel call, then dequantized (acc * w_scale[channel] *
+// act_scale) and run through the ordinary epilogue.
+void gemm_int8(int m, int n, int k, const float* a, int lda, bool trans_a,
+               const float* b, int ldb, bool trans_b, float* c, int ldc,
+               const GemmExtra& extra) {
+  ADVP_CHECK_MSG(k <= 66000,
+                 "gemm: int8 k too large for exact int32 accumulation");
+  const int kpad = round_up(k, 4);
+  const int kquads = kpad / 4;
+  const bool wa = extra.weights_in_a;
+  const GemmEpilogue* ep = extra.epilogue;
+  Int8MicroFn micro = pick_micro_int8(/*a_signed=*/wa);
+
+  ScratchArena& main_arena = ScratchArena::local();
+  ScratchArena::Frame top(main_arena);
+
+  // Activation per-tensor scale: calibrated, or dynamic absmax over the
+  // whole logical operand — computed serially before any fan-out so the
+  // scale (and thus every output bit) is independent of worker count and
+  // stripe geometry.
+  float act_scale = extra.act_scale;
+  if (act_scale <= 0.f) {
+    const float amax = wa ? absmax_b(b, ldb, trans_b, k, n)
+                          : absmax_a(a, lda, trans_a, m, k);
+    act_scale = amax / 127.f;
+  }
+  const float act_inv = act_scale > 0.f ? 1.f / act_scale : 0.f;
+
+  // Only the weight operand uses its cache slot (activations change every
+  // call); the slot stores the quantized panels plus the per-channel
+  // scales, so warm inference re-quantizes nothing.
+  const bool cache_on = pack_cache_enabled();
+  GemmCacheSlot* ac = cache_on && wa ? extra.a_cache : nullptr;
+  GemmCacheSlot* bc = cache_on && !wa ? extra.b_cache : nullptr;
+
+  // ---- op(A) panels (weights when wa, activations otherwise) ----
+  // Panels are int8 k-quads (see pack_a_int8): 0.25x the fp32 pack bytes.
+  const std::size_t a_bytes =
+      static_cast<std::size_t>(round_up(m, kMr)) * kpad;
+  const std::int8_t* ap;
+  const float* w_scales = nullptr;
+  const std::int32_t* w_comp = nullptr;
+  if (wa) {
+    auto quantize_a = [&](float* scales, std::int32_t* comp,
+                          std::int8_t* dst) {
+      weight_scales_a(a, lda, trans_a, m, k, scales);
+      float* inv = main_arena.alloc_floats(m);
+      for (int i = 0; i < m; ++i)
+        inv[i] = scales[i] > 0.f ? 1.f / scales[i] : 0.f;
+      std::int8_t* st = static_cast<std::int8_t*>(
+          main_arena.alloc_bytes(static_cast<std::size_t>(m) * k));
+      stage_a_int8(a, lda, trans_a, m, k, inv, 0.f, st);
+      for (int i = 0; i < m; ++i) {
+        std::int32_t s = 0;
+        for (int kk = 0; kk < k; ++kk)
+          s += staged_a(st, trans_a, m, k, i, kk);
+        comp[i] = 128 * s;
+      }
+      pack_a_int8(st, trans_a, m, k, /*biased=*/false, dst);
+    };
+    if (ac) {
+      if (!cache_lookup(ac, a, m, k, lda, trans_a, floats_for_bytes(a_bytes),
+                        GemmPrecision::kInt8)) {
+        ac->scales.assign(static_cast<std::size_t>(m), 0.f);
+        ac->comp.assign(static_cast<std::size_t>(m), 0);
+        ScratchArena::Frame qframe(main_arena);
+        quantize_a(ac->scales.data(), ac->comp.data(),
+                   reinterpret_cast<std::int8_t*>(ac->packed.data()));
+      }
+      ap = reinterpret_cast<const std::int8_t*>(ac->packed.data());
+      w_scales = ac->scales.data();
+      w_comp = ac->comp.data();
+    } else {
+      float* scales = main_arena.alloc_floats(m);
+      std::int32_t* comp = static_cast<std::int32_t*>(main_arena.alloc_bytes(
+          static_cast<std::size_t>(m) * sizeof(std::int32_t)));
+      std::int8_t* buf =
+          static_cast<std::int8_t*>(main_arena.alloc_bytes(a_bytes));
+      quantize_a(scales, comp, buf);
+      ap = buf;
+      w_scales = scales;
+      w_comp = comp;
+    }
+  } else {
+    std::int8_t* buf =
+        static_cast<std::int8_t*>(main_arena.alloc_bytes(a_bytes));
+    std::int8_t* st = static_cast<std::int8_t*>(
+        main_arena.alloc_bytes(static_cast<std::size_t>(m) * k));
+    stage_a_int8(a, lda, trans_a, m, k, nullptr, act_inv, st);
+    pack_a_int8(st, trans_a, m, k, /*biased=*/true, buf);
+    ap = buf;
+  }
+
+  // ---- op(B) panels ----
+  // Weights-in-B: canonical full-k column panels (panel jp at byte offset
+  // (jp/kNr)*kpad*kNr — stripe boundaries are kNr-aligned, so any stripe
+  // geometry indexes the same cached buffer). Activations-in-B: quantized
+  // into staging once, serially, up front; each stripe then only
+  // interleaves its columns (integer work) inside run_stripe.
+  const int npad = round_up(n, kNr);
+  const std::int8_t* b_full = nullptr;
+  const std::int8_t* b_stage = nullptr;
+  if (!wa) {
+    const std::size_t b_bytes = static_cast<std::size_t>(npad) * kpad;
+    auto quantize_b = [&](float* scales, std::int32_t* comp,
+                          std::int8_t* dst) {
+      weight_scales_b(b, ldb, trans_b, k, n, scales);
+      float* inv = main_arena.alloc_floats(n);
+      for (int j = 0; j < n; ++j)
+        inv[j] = scales[j] > 0.f ? 1.f / scales[j] : 0.f;
+      std::int8_t* st = static_cast<std::int8_t*>(
+          main_arena.alloc_bytes(static_cast<std::size_t>(k) * n));
+      stage_b_int8(b, ldb, trans_b, k, n, inv, 0.f, st);
+      for (int j = 0; j < n; ++j) {
+        std::int32_t s = 0;
+        for (int kk = 0; kk < k; ++kk)
+          s += staged_b(st, trans_b, k, n, kk, j);
+        comp[j] = 128 * s;
+      }
+      pack_b_int8(st, trans_b, k, n, 0, n, /*biased=*/false, dst);
+    };
+    if (bc) {
+      if (!cache_lookup(bc, b, k, n, ldb, trans_b, floats_for_bytes(b_bytes),
+                        GemmPrecision::kInt8)) {
+        bc->scales.assign(static_cast<std::size_t>(n), 0.f);
+        bc->comp.assign(static_cast<std::size_t>(n), 0);
+        ScratchArena::Frame qframe(main_arena);
+        quantize_b(bc->scales.data(), bc->comp.data(),
+                   reinterpret_cast<std::int8_t*>(bc->packed.data()));
+      }
+      b_full = reinterpret_cast<const std::int8_t*>(bc->packed.data());
+      w_scales = bc->scales.data();
+      w_comp = bc->comp.data();
+    } else {
+      float* scales = main_arena.alloc_floats(n);
+      std::int32_t* comp = static_cast<std::int32_t*>(main_arena.alloc_bytes(
+          static_cast<std::size_t>(n) * sizeof(std::int32_t)));
+      std::int8_t* buf =
+          static_cast<std::int8_t*>(main_arena.alloc_bytes(b_bytes));
+      quantize_b(scales, comp, buf);
+      b_full = buf;
+      w_scales = scales;
+      w_comp = comp;
+    }
+  } else {
+    std::int8_t* st = static_cast<std::int8_t*>(
+        main_arena.alloc_bytes(static_cast<std::size_t>(k) * n));
+    stage_b_int8(b, ldb, trans_b, k, n, nullptr, act_inv, st);
+    b_stage = st;
+  }
+
+  const std::size_t macs =
+      static_cast<std::size_t>(m) * n * static_cast<std::size_t>(k);
+  const bool fan_out =
+      macs >= kParallelMacLimit && max_workers() > 1 && !in_parallel_region();
+  int stripe_w = kNc;
+  if (fan_out) {
+    const int per_worker =
+        (n + static_cast<int>(max_workers()) - 1) /
+        static_cast<int>(max_workers());
+    stripe_w = std::clamp(round_up(per_worker, kNr), kNr, kNc);
+  }
+  const std::size_t stripes =
+      (static_cast<std::size_t>(n) + stripe_w - 1) / stripe_w;
+
+  auto run_stripe = [&](std::size_t s) {
+    const int j0 = static_cast<int>(s) * stripe_w;
+    const int nw = std::min(stripe_w, n - j0);
+    const int nw_pad = round_up(nw, kNr);
+    ScratchArena& arena = ScratchArena::local();
+    ScratchArena::Frame frame(arena);
+    const std::int8_t* bp;
+    if (b_full) {
+      bp = b_full + static_cast<std::size_t>(j0 / kNr) * kpad * kNr;
+    } else {
+      std::int8_t* buf = static_cast<std::int8_t*>(arena.alloc_bytes(
+          static_cast<std::size_t>(kpad) * nw_pad));
+      pack_b_int8(b_stage, trans_b, k, n, j0, nw, /*biased=*/wa, buf);
+      bp = buf;
+    }
+    alignas(64) std::int32_t acc[kMr * kNr];
+    for (int jp = 0; jp < nw; jp += kNr) {
+      const std::int8_t* bpanel =
+          bp + static_cast<std::size_t>(jp / kNr) * kpad * kNr;
+      const int nr = std::min(kNr, nw - jp);
+      // Per-column dequant factors and bias compensation for this panel
+      // (weights-in-B).
+      float col_dq[kNr];
+      std::int32_t col_comp[kNr];
+      if (!wa)
+        for (int j = 0; j < nr; ++j) {
+          col_dq[j] = w_scales[j0 + jp + j] * act_scale;
+          col_comp[j] = w_comp[j0 + jp + j];
+        }
+      for (int row = 0; row < m; row += kMr) {
+        const std::int8_t* apanel =
+            ap + static_cast<std::size_t>(row / kMr) * kMr * kpad;
+        const int mr = std::min(kMr, m - row);
+        micro(kquads, apanel, bpanel, acc);
+        float* cptr = c + static_cast<std::size_t>(row) * ldc + j0 + jp;
+        for (int r = 0; r < mr; ++r) {
+          float* crow = cptr + static_cast<std::size_t>(r) * ldc;
+          const std::int32_t* accrow = acc + r * kNr;
+          if (wa) {
+            const float s_row = w_scales[row + r] * act_scale;
+            const std::int32_t comp_r = w_comp[row + r];
+            for (int j = 0; j < nr; ++j)
+              crow[j] = static_cast<float>(accrow[j] - comp_r) * s_row;
+          } else {
+            for (int j = 0; j < nr; ++j)
+              crow[j] =
+                  static_cast<float>(accrow[j] - col_comp[j]) * col_dq[j];
+          }
+        }
+        if (ep) apply_epilogue(*ep, cptr, ldc, row, j0 + jp, mr, nr);
+      }
+    }
+  };
+
+  if (fan_out && stripes > 1)
+    parallel_for(0, stripes, 1, run_stripe);
+  else
+    for (std::size_t s = 0; s < stripes; ++s) run_stripe(s);
+}
+
 }  // namespace
+
+const char* precision_name(GemmPrecision p) {
+  switch (p) {
+    case GemmPrecision::kBf16:
+      return "bf16";
+    case GemmPrecision::kInt8:
+      return "int8";
+    case GemmPrecision::kFp32:
+      break;
+  }
+  return "fp32";
+}
+
+std::uint16_t bf16_from_f32(float v) {
+  std::uint32_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  u += 0x7fffu + ((u >> 16) & 1u);
+  return static_cast<std::uint16_t>(u >> 16);
+}
+
+float bf16_to_f32(std::uint16_t h) {
+  const std::uint32_t u = static_cast<std::uint32_t>(h) << 16;
+  float v;
+  std::memcpy(&v, &u, sizeof(v));
+  return v;
+}
 
 void gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
           const float* b, int ldb, bool trans_b, float* c, int ldc,
@@ -396,6 +1375,15 @@ void gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
   const std::size_t macs =
       static_cast<std::size_t>(m) * n * static_cast<std::size_t>(k);
   ADVP_OBS_COUNT(kMatmulFlops, 2 * static_cast<std::uint64_t>(macs));
+  if (extra.precision != GemmPrecision::kFp32) {
+    ADVP_CHECK_MSG(!accumulate,
+                   "gemm: reduced precision requires accumulate=false");
+    if (extra.precision == GemmPrecision::kBf16)
+      gemm_bf16(m, n, k, a, lda, trans_a, b, ldb, trans_b, c, ldc, extra);
+    else
+      gemm_int8(m, n, k, a, lda, trans_a, b, ldb, trans_b, c, ldc, extra);
+    return;
+  }
   if (macs <= kNaiveMacLimit || n < 8) {
     naive_gemm(m, n, k, a, lda, trans_a, b, ldb, trans_b, c, ldc, accumulate);
     if (ep) apply_epilogue(*ep, c, ldc, 0, 0, m, n);
@@ -414,7 +1402,8 @@ void gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
   ScratchArena::Frame a_frame(main_arena);
   const float* ap;
   if (ac) {
-    if (!cache_lookup(ac, a, m, k, lda, trans_a, a_floats))
+    if (!cache_lookup(ac, a, m, k, lda, trans_a, a_floats,
+                      GemmPrecision::kFp32))
       pack_a(a, lda, trans_a, m, k, ac->packed.data());
     ap = ac->packed.data();
   } else {
@@ -432,7 +1421,8 @@ void gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
   const float* b_cached = nullptr;
   if (bc) {
     const std::size_t b_floats = static_cast<std::size_t>(npad) * k;
-    if (!cache_lookup(bc, b, k, n, ldb, trans_b, b_floats)) {
+    if (!cache_lookup(bc, b, k, n, ldb, trans_b, b_floats,
+                      GemmPrecision::kFp32)) {
       for (int pc = 0; pc < k; pc += kKc) {
         const int kc = std::min(kKc, k - pc);
         pack_b(b, ldb, trans_b, pc, kc, 0, n,

@@ -37,10 +37,31 @@
 //    separate bias-scatter and activation sweeps. The per-element float
 //    operation sequence is exactly the unfused one (accumulate, then
 //    bias, then normalize, then activate), so results stay bit-identical.
+//
+// Reduced-precision inference tier (opt-in per call via GemmExtra):
+//  - kBf16: packed panels store bf16 (round-to-nearest-even truncation of
+//    fp32), the micro-kernel widens back to fp32 (exact) and accumulates in
+//    fp32. Halves pack bytes and panel memory traffic; results are
+//    bit-identical across backends and worker counts (same FMA chain as
+//    fp32, just on rounded inputs), but differ from the fp32 tier by the
+//    storage rounding.
+//  - kInt8: the weight operand (the one whose GemmCacheSlot the caller
+//    provides; see GemmExtra::weights_in_a) is quantized symmetrically per
+//    output channel at pack time, the activation operand per tensor (scale
+//    from a calibration pass, or dynamic absmax when act_scale <= 0).
+//    Accumulation is exact int32 over the full k range; dequantization
+//    (acc * w_scale[channel] * act_scale) happens at C write-back, followed
+//    by the ordinary fused epilogue. Integer accumulation is associative,
+//    so int8 results are bit-identical across backends, worker counts, and
+//    blocking geometry by construction.
+// Quantized packed panels live in the same generation-counted cache slots
+// as fp32 packs (the slot key includes the precision), so warm inference
+// re-quantizes nothing. Low-precision calls require accumulate == false.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "core/scratch.h"
 
@@ -70,11 +91,30 @@ struct GemmEpilogue {
   float slope = 0.f;  ///< negative slope for kReluLeaky
 };
 
+/// Numeric tier a gemm() call runs at. fp32 is the default and the only
+/// tier usable for gradients; bf16/int8 are inference-only storage/compute
+/// reductions selected per call through GemmExtra (see file header).
+enum class GemmPrecision : int {
+  kFp32 = 0,  ///< fp32 storage, fp32 FMA accumulation (bit-exact seed path)
+  kBf16,      ///< bf16 packed panels, fp32 accumulation
+  kInt8,      ///< int8 packed panels, int32 accumulation, fp32 dequant
+};
+
+/// @brief Human-readable tier name: "fp32", "bf16", or "int8".
+const char* precision_name(GemmPrecision p);
+
+/// @brief Round-to-nearest-even conversion of an fp32 value to bf16 bits.
+std::uint16_t bf16_from_f32(float v);
+
+/// @brief Exact widening of bf16 bits back to fp32.
+float bf16_to_f32(std::uint16_t h);
+
 /// One cached packed operand. Owned by the caller (typically a layer, so
 /// the slot dies with the weights it shadows — a slot must never outlive
 /// or be shared beyond its source buffer's owner). A slot is valid for the
 /// A or the B operand role it was filled in, not both; gemm() revalidates
-/// on (src, dims, ld, trans, weight generation) and repacks on mismatch.
+/// on (src, dims, ld, trans, precision, weight generation) and repacks on
+/// mismatch — switching precision on the same slot forces a repack.
 /// Not thread-safe: a slot must not be passed to concurrent gemm() calls.
 struct GemmCacheSlot {
   AlignedBuffer packed;
@@ -82,6 +122,15 @@ struct GemmCacheSlot {
   int d0 = 0, d1 = 0, ld = 0;  ///< logical op() dims: m,k for A; k,n for B
   bool trans = false;
   std::uint64_t generation = 0;
+  GemmPrecision precision = GemmPrecision::kFp32;
+  /// kInt8 only: per-output-channel symmetric weight scales, computed at
+  /// pack time (length d0 for a weights-in-A slot, d1 for weights-in-B).
+  std::vector<float> scales;
+  /// kInt8 only: per-output-channel compensation terms (128 * sum of the
+  /// channel's quantized weights) that remove the +128 bias the kernel
+  /// applies to activation bytes so it can run the unsigned-by-signed
+  /// VNNI byte dot product. Same length as scales.
+  std::vector<std::int32_t> comp;
 
   /// Forces a repack on next use.
   void invalidate() { src = nullptr; }
@@ -92,6 +141,17 @@ struct GemmExtra {
   GemmCacheSlot* a_cache = nullptr;  ///< pack-once cache for op(A)
   GemmCacheSlot* b_cache = nullptr;  ///< pack-once cache for op(B)
   const GemmEpilogue* epilogue = nullptr;
+  /// Numeric tier for this call. Non-fp32 tiers require accumulate=false.
+  GemmPrecision precision = GemmPrecision::kFp32;
+  /// kInt8 only: which operand holds the weights (per-output-channel
+  /// quantization runs over op(A) rows when true, op(B) columns when
+  /// false). The other operand is the activation, quantized per tensor.
+  bool weights_in_a = true;
+  /// kInt8 only: per-tensor activation quantization scale (absmax / 127
+  /// from a calibration pass). <= 0 means "dynamic": gemm() computes the
+  /// activation absmax serially before any fan-out, so the scale — and the
+  /// result — is independent of worker count and stripe geometry.
+  float act_scale = 0.f;
 };
 
 /// @brief C = op(A) * op(B), optionally accumulating into C.

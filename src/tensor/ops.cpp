@@ -128,6 +128,8 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
     epi.slope = fusion->act_slope;
     extra.a_cache = fusion->weight_cache;
     extra.epilogue = &epi;
+    extra.precision = fusion->precision;  // weights_in_a: conv W is op(A)
+    extra.act_scale = fusion->act_scale;
   }
 
   // The whole batch (in arena-budget groups) is lowered into one wide

@@ -46,6 +46,13 @@ struct ConvFusion {
   const float* bn_beta = nullptr;
   Act act = Act::kNone;
   float act_slope = 0.f;
+  /// Numeric tier for the conv GEMMs (see tensor/gemm.h). Non-fp32 tiers
+  /// are only legal on backward-free inference paths; weights quantize per
+  /// out-channel into `weight_cache` under kInt8.
+  GemmPrecision precision = GemmPrecision::kFp32;
+  /// kInt8 only: calibrated per-tensor activation scale (range / 127);
+  /// <= 0 falls back to a dynamic per-call absmax.
+  float act_scale = 0.f;
 };
 
 /// x: [N, Cin, H, W]; w: [Cout, Cin, K, K]; b: [Cout].

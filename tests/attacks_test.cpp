@@ -126,6 +126,82 @@ TEST(FgsmTest, MaskConfinesPerturbation) {
     if (mask[i] == 0.f) EXPECT_FLOAT_EQ(adv[i], x[i]);
 }
 
+// Wraps a single-candidate oracle into a per-item batch oracle, counting
+// every candidate evaluated — the analytic stand-in for a model whose
+// batched forward is bit-identical per item.
+BatchGradOracle batch_of(const GradOracle& single, int* evals = nullptr) {
+  return [&single, evals](const Tensor& xb) {
+    std::vector<LossGrad> out;
+    for (int i = 0; i < xb.dim(0); ++i) {
+      out.push_back(single(batch_item(xb, i)));
+      if (evals) ++*evals;
+    }
+    return out;
+  };
+}
+
+// Nonlinear concave oracle J = -||x - target||^2: different starts give
+// different gradients, so restart candidates genuinely differ.
+GradOracle quadratic_oracle(const Tensor& target) {
+  return [&target](const Tensor& x) {
+    Tensor d = x - target;
+    Tensor grad = d;
+    grad *= -2.f;
+    return LossGrad{-d.sq_norm(), std::move(grad)};
+  };
+}
+
+TEST(FgsmRestartTest, ZeroRestartsMatchesPlainFgsm) {
+  LinearOracle oracle({1, 3, 8, 8}, 11);
+  Tensor x = mid_image();
+  Rng rng(1);
+  FgsmRestartResult res = fgsm_restarts(x, {0.05f}, 0, rng, std::cref(oracle));
+  Tensor plain = fgsm(x, {0.05f}, std::cref(oracle));
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    EXPECT_FLOAT_EQ(res.x_adv[i], plain[i]);
+  EXPECT_EQ(res.oracle_calls, 2);
+}
+
+TEST(FgsmRestartTest, BatchedMatchesSequentialExactly) {
+  Tensor target = Tensor::full({1, 3, 6, 6}, 0.9f);
+  GradOracle oracle = quadratic_oracle(target);
+  Tensor x = mid_image(6, 6);
+  Rng rng_seq(42), rng_bat(42);
+  FgsmRestartResult seq = fgsm_restarts(x, {0.08f}, 3, rng_seq, oracle);
+  int evals = 0;
+  FgsmRestartResult bat = fgsm_restarts(x, {0.08f}, 3, rng_bat, oracle,
+                                        Tensor(), batch_of(oracle, &evals));
+  EXPECT_FLOAT_EQ(seq.best_loss, bat.best_loss);
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    EXPECT_FLOAT_EQ(seq.x_adv[i], bat.x_adv[i]);
+  EXPECT_EQ(seq.oracle_calls, 8);  // 2 rounds x 4 candidates
+  EXPECT_EQ(bat.oracle_calls, 8);
+  EXPECT_EQ(evals, 8);
+}
+
+TEST(FgsmRestartTest, BoundedAndNoWorseThanPlainStep) {
+  Tensor target = Tensor::full({1, 3, 6, 6}, 0.1f);
+  GradOracle oracle = quadratic_oracle(target);
+  Tensor x = mid_image(6, 6);
+  Rng rng(7);
+  FgsmRestartResult res = fgsm_restarts(x, {0.06f}, 4, rng, oracle);
+  Tensor d = res.x_adv - x;
+  EXPECT_LE(d.abs_max(), 0.06f + 1e-6f);
+  // Candidate 0 is the plain FGSM step, so the winner can't score below it.
+  EXPECT_GE(res.best_loss, oracle(fgsm(x, {0.06f}, oracle)).loss - 1e-6f);
+}
+
+TEST(FgsmRestartTest, MaskConfinesEveryCandidate) {
+  LinearOracle oracle({1, 3, 8, 8}, 12);
+  Tensor x = mid_image();
+  Tensor mask = make_box_mask(8, 8, Box{2, 2, 3, 3});
+  Rng rng(3);
+  FgsmRestartResult res =
+      fgsm_restarts(x, {0.05f}, 3, rng, std::cref(oracle), mask);
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    if (mask[i] == 0.f) EXPECT_FLOAT_EQ(res.x_adv[i], x[i]);
+}
+
 TEST(AutoPgdTest, StaysInBallAndBeatsSingleStepOnLinear) {
   LinearOracle oracle({1, 3, 8, 8}, 6);
   Tensor x = mid_image();
@@ -158,6 +234,40 @@ TEST(AutoPgdTest, BestLossMonotoneInBudget) {
   const float l5 = auto_pgd(x, p5, oracle).best_loss;
   const float l30 = auto_pgd(x, p30, oracle).best_loss;
   EXPECT_GE(l30, l5 - 1e-5f);
+}
+
+TEST(AutoPgdTest, OracleCallAccountingIsExact) {
+  Tensor target = Tensor::full({1, 3, 4, 4}, 0.9f);
+  GradOracle oracle = quadratic_oracle(target);
+  Tensor x = mid_image(4, 4);
+  AutoPgdParams p;
+  p.eps = 0.1f;
+  p.steps = 12;
+  AutoPgdResult res = auto_pgd(x, p, oracle);
+  // Serial: initial + one per step + one re-evaluation per halving.
+  EXPECT_EQ(res.oracle_calls, 1 + p.steps + res.step_halvings);
+}
+
+TEST(AutoPgdTest, BatchedPairNoWorseAndChargesBothCandidates) {
+  Tensor target = Tensor::full({1, 3, 4, 4}, 0.9f);
+  GradOracle oracle = quadratic_oracle(target);
+  Tensor x = mid_image(4, 4);
+  AutoPgdParams p;
+  p.eps = 0.1f;
+  p.steps = 10;
+  AutoPgdResult serial = auto_pgd(x, p, oracle);
+  int evals = 0;
+  AutoPgdResult batched =
+      auto_pgd(x, p, oracle, Tensor(), batch_of(oracle, &evals));
+  // The pair evaluation only adds z_k to best-tracking: never worse.
+  EXPECT_GE(batched.best_loss, serial.best_loss - 1e-6f);
+  // Initial + first step + 2 per remaining step + halving re-evaluations.
+  EXPECT_EQ(batched.oracle_calls,
+            2 + 2 * (p.steps - 1) + batched.step_halvings);
+  // The counter only charges batch items for the paired evaluations.
+  EXPECT_EQ(evals, 2 * (p.steps - 1));
+  Tensor d = batched.x_adv - x;
+  EXPECT_LE(d.abs_max(), p.eps + 1e-5f);
 }
 
 TEST(AutoPgdTest, MaskedPixelsUntouched) {

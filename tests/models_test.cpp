@@ -12,6 +12,7 @@
 #include "models/distnet.h"
 #include "models/tiny_yolo.h"
 #include "models/zoo.h"
+#include "nn/precision.h"
 
 namespace advp::models {
 namespace {
@@ -129,6 +130,10 @@ TEST(DistNetTest, PredictInRange) {
 }
 
 TEST(DistNetTest, PredictionGradMatchesNumeric) {
+  // prediction_grad always runs fp32 (gradient paths ignore precision
+  // tiers); pin the numeric differencing to fp32 as well so the check
+  // stays meaningful under an ADVP_PRECISION=bf16/int8 environment.
+  nn::PrecisionScope fp32(GemmPrecision::kFp32);
   Rng rng(6);
   DistNet model(DistNetConfig{}, rng);
   Tensor batch = Tensor::rand({1, 3, 48, 96}, rng);
@@ -146,6 +151,29 @@ TEST(DistNetTest, PredictionGradMatchesNumeric) {
     const float num = (fp - fm) / (2.f * h);
     EXPECT_NEAR(r.grad[i], num, 0.5f) << "pixel " << i;  // meters-scale
   }
+}
+
+TEST(DistNetTest, PredictionGradPerItemMatchesSingleForwards) {
+  Rng rng(11);
+  DistNet model(DistNetConfig{}, rng);
+  Tensor batch = Tensor::rand({3, 3, 48, 96}, rng);
+  auto r = model.prediction_grad(batch);
+  ASSERT_EQ(r.per_item.size(), 3u);
+  float sum = 0.f;
+  for (int i = 0; i < 3; ++i) {
+    Tensor one({1, 3, 48, 96});
+    const std::size_t stride = one.numel();
+    std::copy(batch.data() + i * stride, batch.data() + (i + 1) * stride,
+              one.data());
+    model.zero_grad();
+    auto single = model.prediction_grad(one);
+    // Batched per-item forwards are bit-identical to single-image runs.
+    EXPECT_FLOAT_EQ(r.per_item[static_cast<std::size_t>(i)], single.loss);
+    for (std::size_t j : {0ul, 999ul, 5000ul})
+      EXPECT_FLOAT_EQ(r.grad[i * stride + j], single.grad[j]);
+    sum += r.per_item[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(r.loss, sum, 1e-3f);
 }
 
 TEST(DistNetTest, LossBackwardDecreasesWithTraining) {

@@ -10,10 +10,12 @@
 #include <stdexcept>
 #include <vector>
 
+#include "attacks/fgsm.h"
 #include "core/parallel.h"
 #include "defenses/adv_train.h"
 #include "defenses/preprocess.h"
 #include "eval/harness.h"
+#include "sim/acc_sim.h"
 #include "tensor/ops.h"
 
 namespace advp {
@@ -285,6 +287,64 @@ TEST(ParallelDeterminismTest, AdversarialDatasetIdenticalAcrossWorkerCounts) {
     ASSERT_TRUE(ta.same_shape(tb));
     for (std::size_t j = 0; j < ta.numel(); ++j)
       ASSERT_EQ(ta[j], tb[j]) << "scene " << i << " pixel " << j;
+  }
+}
+
+TEST(ParallelDeterminismTest, AccRunBatchIdenticalToSerialRuns) {
+  Rng mrng(21);
+  models::DistNet dist(models::DistNetConfig{}, mrng);
+  data::DrivingSceneGenerator gen;
+  std::vector<sim::AccScenario> scenarios(4);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    scenarios[i].duration = 1.2f;
+    scenarios[i].initial_gap = 25.f + 5.f * static_cast<float>(i);
+  }
+  // White-box FGSM on every frame, querying the worker's own model — the
+  // stateful-attack shape run_batch has to keep deterministic.
+  sim::ScenarioAttackFactory factory =
+      [](std::size_t, models::DistNet& m) -> sim::FrameHook {
+    return [&m](const Tensor& frame, const Box& box) {
+      auto oracle = [&m](const Tensor& x) {
+        m.zero_grad();
+        auto r = m.prediction_grad(x);
+        return attacks::LossGrad{r.loss, std::move(r.grad)};
+      };
+      Tensor mask = attacks::make_box_mask(frame.dim(2), frame.dim(3), box);
+      return attacks::fgsm(frame, {0.05f}, oracle, mask);
+    };
+  };
+  sim::AccSimulator simulator(dist, gen, sim::AccParams{});
+  // Serial reference: one run() per scenario on its own stream.
+  std::vector<sim::AccResult> serial;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    Rng rng(Rng::stream_seed(909, i));
+    serial.push_back(simulator.run(scenarios[i], rng, factory(i, dist)));
+  }
+  std::vector<sim::AccResult> r1, r8;
+  {
+    ScopedMaxWorkers workers(1);
+    r1 = simulator.run_batch(scenarios, 909, factory);
+  }
+  {
+    ScopedMaxWorkers workers(8);
+    r8 = simulator.run_batch(scenarios, 909, factory);
+  }
+  ASSERT_EQ(r1.size(), serial.size());
+  ASSERT_EQ(r8.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    for (const auto* batch : {&r1[i], &r8[i]}) {
+      EXPECT_EQ(batch->min_gap, serial[i].min_gap) << "scenario " << i;
+      EXPECT_EQ(batch->min_ttc, serial[i].min_ttc) << "scenario " << i;
+      EXPECT_EQ(batch->mean_abs_gap_error, serial[i].mean_abs_gap_error);
+      EXPECT_EQ(batch->collided, serial[i].collided);
+      ASSERT_EQ(batch->trace.size(), serial[i].trace.size());
+      for (std::size_t k = 0; k < serial[i].trace.size(); ++k) {
+        EXPECT_EQ(batch->trace[k].predicted_gap,
+                  serial[i].trace[k].predicted_gap)
+            << "scenario " << i << " step " << k;
+        EXPECT_EQ(batch->trace[k].accel_cmd, serial[i].trace[k].accel_cmd);
+      }
+    }
   }
 }
 

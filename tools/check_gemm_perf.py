@@ -21,9 +21,19 @@ milliseconds vary wildly across CI runners and are never compared:
   deterministic byte count, so it gets a fixed floor PACK_REDUCTION_MIN
   rather than a baseline-relative one.
 
+Two reduced-precision sections gate the inference tiers:
+
+- "bf16": the bytes tier. pack_ratio (bf16 staged pack bytes over fp32)
+  is a deterministic byte count with a fixed ceiling BF16_PACK_MAX; the
+  speedup column is informational only (bf16 trades compute for traffic).
+- "int8": the speed tier. speedup (warm fp32 ms over warm int8 ms,
+  single thread, calibrated activation scale) must clear INT8_SPEEDUP_MIN
+  on every committed shape, baseline-relative on top.
+
 Also asserts `identical: true` for every entry: the blocked kernel, the
-fused epilogue, and the warm-cache path must all stay bit-identical to
-their reference passes, on any runner. Exit code 1 on any failure.
+fused epilogue, the warm-cache path, and both reduced-precision tiers
+(SIMD vs portable micro-kernel) must all stay bit-identical to their
+reference passes, on any runner. Exit code 1 on any failure.
 """
 import json
 import sys
@@ -31,6 +41,8 @@ import sys
 TOLERANCE = 0.30  # fresh ratio may be up to 30% below baseline
 FUSED_MIN = 1.15  # fused epilogue must beat separate passes by >= 15%
 PACK_REDUCTION_MIN = 0.80  # warm calls must skip >= 80% of packing bytes
+BF16_PACK_MAX = 0.55  # bf16 panels must stay <= 55% of fp32 pack bytes
+INT8_SPEEDUP_MIN = 1.50  # calibrated int8 must beat warm fp32 by >= 50%
 
 
 def load_sections(path):
@@ -40,7 +52,7 @@ def load_sections(path):
     root = data.get("micro_gemm", data)
     return {
         key: {s["name"]: s for s in root.get(key, [])}
-        for key in ("shapes", "fused", "warm_cache")
+        for key in ("shapes", "fused", "warm_cache", "bf16", "int8")
     }
 
 
@@ -54,6 +66,12 @@ def check_identical(name, entry, what):
 def check_ratio(name, fresh_val, floor, label):
     status = "ok" if fresh_val >= floor else "FAIL"
     print(f"{status:4} {name}: {label} {fresh_val:.2f} (floor {floor:.2f})")
+    return 1 if status == "FAIL" else 0
+
+
+def check_ceiling(name, fresh_val, ceiling, label):
+    status = "ok" if fresh_val <= ceiling else "FAIL"
+    print(f"{status:4} {name}: {label} {fresh_val:.3f} (ceiling {ceiling:.2f})")
     return 1 if status == "FAIL" else 0
 
 
@@ -72,6 +90,8 @@ def main():
         ("shapes", "speedup", None, "blocked kernel"),
         ("fused", "fused_speedup", FUSED_MIN, "fused epilogue"),
         ("warm_cache", "pack_bytes_reduction", PACK_REDUCTION_MIN, "warm cache"),
+        ("bf16", "pack_ratio", None, "bf16 tier"),
+        ("int8", "speedup", INT8_SPEEDUP_MIN, "int8 tier"),
     ):
         for name, b in sorted(base[section].items()):
             f = fresh[section].get(name)
@@ -81,6 +101,11 @@ def main():
                 continue
             if check_identical(name, f, what):
                 failures += 1
+                continue
+            if section == "bf16":
+                # Byte counts are deterministic; the ceiling is absolute.
+                failures += check_ceiling(name, f[ratio_key], BF16_PACK_MAX,
+                                          ratio_key)
                 continue
             if section == "warm_cache":
                 # Byte counts are deterministic; the floor is absolute.
