@@ -136,6 +136,9 @@ const char* counter_name(Counter c) {
     case Counter::kScratchGrows: return "scratch_grows";
     case Counter::kPackCacheHits: return "pack_cache_hits";
     case Counter::kPackCacheMisses: return "pack_cache_misses";
+    case Counter::kServeRequests: return "serve_requests";
+    case Counter::kServeBatches: return "serve_batches";
+    case Counter::kServeBatchItems: return "serve_batch_items";
     case Counter::kCount: break;
   }
   return "?";

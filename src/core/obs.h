@@ -85,6 +85,9 @@ enum class Counter : int {
   kScratchGrows,        ///< scratch-arena heap growth/coalesce events
   kPackCacheHits,       ///< GEMM operand packs reused from a cache slot
   kPackCacheMisses,     ///< GEMM cache slots (re)packed from source
+  kServeRequests,       ///< requests enqueued into a serve::BatchServer
+  kServeBatches,        ///< batched forwards executed by serve workers
+  kServeBatchItems,     ///< requests coalesced into those forwards
   kCount
 };
 

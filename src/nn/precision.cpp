@@ -18,6 +18,11 @@ namespace {
 // single orchestrating thread that is allowed to enter scopes.
 std::atomic<int> g_precision_override{0};
 
+// 0 = no ThreadPrecisionScope on this thread, otherwise tier + 1. Checked
+// before the global override so concurrent serving threads can each pin
+// their own tier without touching shared state.
+thread_local int t_precision_override = 0;
+
 thread_local const CalibrationOptions* g_calibration = nullptr;
 
 GemmPrecision env_default() {
@@ -44,8 +49,19 @@ PrecisionScope::~PrecisionScope() {
 }
 
 GemmPrecision PrecisionScope::active() {
+  if (t_precision_override)
+    return static_cast<GemmPrecision>(t_precision_override - 1);
   const int v = g_precision_override.load(std::memory_order_relaxed);
   return v ? static_cast<GemmPrecision>(v - 1) : env_default();
+}
+
+ThreadPrecisionScope::ThreadPrecisionScope(GemmPrecision p)
+    : prev_(t_precision_override) {
+  t_precision_override = static_cast<int>(p) + 1;
+}
+
+ThreadPrecisionScope::~ThreadPrecisionScope() {
+  t_precision_override = prev_;
 }
 
 CalibrationScope::CalibrationScope(const CalibrationOptions& opts)
@@ -121,6 +137,19 @@ void reset_calibration(Module& m) {
     return;
   }
   if (auto* lin = dynamic_cast<Linear*>(&m)) lin->set_calibration_range(0.f);
+}
+
+bool has_calibration(Module& m) {
+  if (auto* seq = dynamic_cast<Sequential*>(&m)) {
+    for (std::size_t i = 0; i < seq->size(); ++i)
+      if (!has_calibration(seq->child(i))) return false;
+    return true;
+  }
+  if (auto* conv = dynamic_cast<Conv2d*>(&m))
+    return conv->calibration_range() > 0.f;
+  if (auto* lin = dynamic_cast<Linear*>(&m))
+    return lin->calibration_range() > 0.f;
+  return true;  // nothing quantizable in this module
 }
 
 void copy_calibration(Module& src, Module& dst) {

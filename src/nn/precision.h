@@ -9,6 +9,12 @@
 //    enter scopes from the orchestrating thread only, before any fan-out.
 //    With no scope active the tier comes from the ADVP_PRECISION
 //    environment variable (fp32 | bf16 | int8; unset means fp32).
+//  - ThreadPrecisionScope: a thread-local override that wins over both
+//    PrecisionScope and the environment, on the entering thread only.
+//    This is the selection mechanism for serving worker threads
+//    (advp::serve), which run tenants at different tiers concurrently —
+//    a process-global scope entered from two workers at once would leak
+//    one tenant's tier into another's forward.
 //  - CalibrationScope + calibrate(): a calibration pass runs clean batches
 //    through the network under InferenceModeScope while a (thread-local)
 //    CalibrationScope is active; Conv2d/Linear record their input
@@ -53,8 +59,26 @@ class PrecisionScope {
   PrecisionScope& operator=(const PrecisionScope&) = delete;
 
   /// Tier the innermost live scope selects, or the ADVP_PRECISION
-  /// environment default (fp32 when unset) with no scope active.
+  /// environment default (fp32 when unset) with no scope active. A live
+  /// ThreadPrecisionScope on the calling thread wins over both.
   static GemmPrecision active();
+
+ private:
+  int prev_;
+};
+
+/// RAII tier selection scoped to the *calling thread*: while alive,
+/// PrecisionScope::active() on this thread returns `p` regardless of any
+/// process-global scope or ADVP_PRECISION. Other threads are unaffected.
+/// Nests; the destructor restores the previous thread-local selection.
+/// Safe to enter concurrently from any number of threads — this is how
+/// serve worker threads pin each tenant's tier around batched forwards.
+class ThreadPrecisionScope {
+ public:
+  explicit ThreadPrecisionScope(GemmPrecision p);
+  ~ThreadPrecisionScope();
+  ThreadPrecisionScope(const ThreadPrecisionScope&) = delete;
+  ThreadPrecisionScope& operator=(const ThreadPrecisionScope&) = delete;
 
  private:
   int prev_;
@@ -105,6 +129,13 @@ void calibrate(Sequential& net, const std::vector<Tensor>& batches,
 /// Sequential). Layers fall back to dynamic per-call absmax activation
 /// scales until recalibrated.
 void reset_calibration(Module& m);
+
+/// @brief True when every Conv2d/Linear reachable from `m` (recursing
+/// through Sequential) carries a recorded calibration range. The serving
+/// registry requires this of int8 tenants: a dynamic (per-call absmax)
+/// activation scale would make a batched forward's int8 results depend on
+/// the other frames in the batch, breaking batched-vs-serial bit-identity.
+bool has_calibration(Module& m);
 
 /// @brief Copies recorded calibration ranges from `src` onto the
 /// structurally matching modules of `dst` (recursing through Sequential

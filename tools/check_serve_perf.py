@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Compares a fresh bench/serve_throughput run against the committed baseline.
+
+Usage: build/bench/serve_throughput > fresh.json
+       python3 tools/check_serve_perf.py fresh.json [BENCH_serve.json]
+
+Two kinds of gates:
+
+Machine-independent (hard, every runner):
+- schema is "advp.serve_bench/1" and every baseline config is present;
+- identical: every batched response bit-identical to the serial per-frame
+  reference — the determinism contract under concurrency;
+- lost == 0: every future resolved (shutdown drained, nothing dropped);
+- coalesce_ratio >= COALESCE_MIN: 8 closed-loop clients against a
+  batch-8/200us server must actually coalesce (mean batch size), or the
+  dynamic batcher has silently degenerated into per-request forwards;
+- server_b1_rps >= ROUTER_MIN * serial_rps: the router's per-request
+  overhead (queue, future, worker handoff) stays bounded.
+
+Machine-keyed throughput floor (batched_vs_serial = batched_rps over the
+single-thread serial loop): coalescing turns eight batch-1 forwards into
+one batch-8 forward whose GEMMs have 8x the columns — enough parallel work
+to use several cores, which is the whole point of dynamic batching. A
+single-core runner cannot show that win (whole-batch im2col even hurts
+locality a little), so the floor follows the recorded `max_workers`:
+
+    >= 4 workers: 2.0        (the ISSUE's gate: batched >= 2x serial)
+    2-3 workers:  1.2
+    1 worker:     0.5        (non-collapse only)
+
+On top, when fresh and baseline ran at the same multi-core width, the
+fresh ratio must stay within TOLERANCE of baseline (single-worker ratios
+are scheduler noise around 1.0 and are not baseline-compared).
+
+Exit code 1 on any failure.
+"""
+import json
+import sys
+
+TOLERANCE = 0.30      # fresh ratio may be up to 30% below baseline
+COALESCE_MIN = 2.0    # mean batch size under closed-loop 8-client load
+ROUTER_MIN = 0.30     # batch-1 server must keep >= 30% of direct rps
+FLOOR_BY_WORKERS = [(4, 2.0), (2, 1.2), (1, 0.5)]
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    # BENCH_serve.json nests the run; the bench emits it at top level.
+    return data.get("serve_throughput", data)
+
+
+def throughput_floor(workers):
+    for min_workers, floor in FLOOR_BY_WORKERS:
+        if workers >= min_workers:
+            return floor
+    return 0.0
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 1
+    fresh = load(sys.argv[1])
+    base = load(sys.argv[2] if len(sys.argv) > 2 else "BENCH_serve.json")
+
+    failures = []
+    if fresh.get("schema") != "advp.serve_bench/1":
+        failures.append(f"schema: got {fresh.get('schema')!r}, "
+                        "expected 'advp.serve_bench/1'")
+
+    fresh_cfgs = {c["name"]: c for c in fresh.get("configs", [])}
+    base_cfgs = {c["name"]: c for c in base.get("configs", [])}
+    workers = int(fresh.get("max_workers", 1))
+    base_workers = int(base.get("max_workers", 1))
+    floor = throughput_floor(workers)
+
+    for name, b in base_cfgs.items():
+        c = fresh_cfgs.get(name)
+        if c is None:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        if not c.get("identical", False):
+            failures.append(f"{name}: batched results are NOT bit-identical "
+                            "to the serial reference")
+        if c.get("lost", 1) != 0:
+            failures.append(f"{name}: lost {c.get('lost')} responses")
+        coalesce = c.get("coalesce_ratio", 0.0)
+        if coalesce < COALESCE_MIN:
+            failures.append(f"{name}: coalesce_ratio {coalesce:.2f} "
+                            f"< {COALESCE_MIN} — batching degenerated")
+        serial = c.get("serial_rps", 0.0)
+        b1 = c.get("server_b1_rps", 0.0)
+        if serial <= 0 or b1 < ROUTER_MIN * serial:
+            failures.append(f"{name}: router overhead too high — "
+                            f"server_b1_rps {b1:.1f} < {ROUTER_MIN} * "
+                            f"serial_rps {serial:.1f}")
+        ratio = c.get("batched_vs_serial", 0.0)
+        if ratio < floor:
+            failures.append(f"{name}: batched_vs_serial {ratio:.3f} < "
+                            f"{floor} floor for {workers} worker(s)")
+        if workers >= 2 and workers == base_workers:
+            rel_floor = b.get("batched_vs_serial", 0.0) * (1 - TOLERANCE)
+            if ratio < rel_floor:
+                failures.append(f"{name}: batched_vs_serial {ratio:.3f} "
+                                f"< baseline-relative floor {rel_floor:.3f}")
+        print(f"  {name}: batched_vs_serial {ratio:.3f} (floor {floor}), "
+              f"coalesce {coalesce:.2f}, lost {c.get('lost')}, "
+              f"identical {c.get('identical')}")
+
+    if failures:
+        print("\nFAIL: serve perf gate")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nOK: serve perf gate ({len(base_cfgs)} configs, "
+          f"{workers} worker(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
