@@ -84,6 +84,16 @@ Registry& registry() {
 
 std::atomic<std::uint64_t> g_counters[static_cast<int>(Counter::kCount)];
 
+struct ArtifactRegistry {
+  std::mutex m;
+  std::vector<ModelArtifact> items;  // first-observation order
+};
+
+ArtifactRegistry& artifact_registry() {
+  static ArtifactRegistry r;
+  return r;
+}
+
 // Thread-local '/'-joined stack of open span names.
 thread_local std::string tl_path;
 
@@ -113,9 +123,16 @@ bool trace_disabled() { return env_trace().mode == EnvMode::kForceOff; }
 std::string trace_path() { return env_trace().path; }
 
 void reset() {
-  Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.m);
-  r.spans.clear();
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.m);
+    r.spans.clear();
+  }
+  {
+    ArtifactRegistry& r = artifact_registry();
+    std::lock_guard<std::mutex> lk(r.m);
+    r.items.clear();
+  }
   for (auto& c : g_counters) c.store(0, std::memory_order_relaxed);
 }
 
@@ -150,6 +167,27 @@ void counter_add(Counter c, std::uint64_t n) {
 
 std::uint64_t counter_value(Counter c) {
   return g_counters[static_cast<int>(c)].load(std::memory_order_relaxed);
+}
+
+void record_model_artifact(ModelArtifact artifact) {
+  if (!enabled()) return;
+  ArtifactRegistry& r = artifact_registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  for (ModelArtifact& existing : r.items) {
+    if (existing.path == artifact.path &&
+        existing.content_hash == artifact.content_hash) {
+      existing.format_version = artifact.format_version;
+      existing.packed_adopted |= artifact.packed_adopted;
+      return;
+    }
+  }
+  r.items.push_back(std::move(artifact));
+}
+
+std::vector<ModelArtifact> model_artifacts() {
+  ArtifactRegistry& r = artifact_registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  return r.items;
 }
 
 ScopedTimer::ScopedTimer(const char* name) {
@@ -389,6 +427,22 @@ std::string RunManifest::to_json() const {
     os << (c + 1 < static_cast<int>(Counter::kCount) ? ",\n" : "\n");
   }
   os << "  },\n";
+
+  const auto models = model_artifacts();
+  os << "  \"models\": [";
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    os << (i ? ",\n" : "\n");
+    os << "    {\n";
+    os << "      \"path\": " << quoted(models[i].path) << ",\n";
+    os << "      \"format_version\": " << models[i].format_version << ",\n";
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(models[i].content_hash));
+    os << "      \"content_hash\": " << quoted(hash) << ",\n";
+    os << "      \"packed_adopted\": "
+       << (models[i].packed_adopted ? "true" : "false") << "\n    }";
+  }
+  os << (models.empty() ? "" : "\n  ") << "],\n";
 
   const auto spans = span_snapshot();
   os << "  \"spans\": [";

@@ -102,6 +102,27 @@ void counter_add(Counter c, std::uint64_t n = 1);
 /// @brief Current value of counter `c`.
 std::uint64_t counter_value(Counter c);
 
+// ---- model artifacts -------------------------------------------------------
+
+/// One model file observed by the serialization layer (loaded or saved)
+/// while tracing was enabled. Manifests carry these under "models" so a
+/// run records exactly which weight artifacts produced its numbers.
+struct ModelArtifact {
+  std::string path;                  ///< file path as passed by the caller
+  std::uint32_t format_version = 0;  ///< 0 = legacy .bin, >=1 = .advp
+  std::uint64_t content_hash = 0;    ///< FNV-1a over fp32 parameter bytes
+  bool packed_adopted = false;       ///< packed panels adopted on load
+};
+
+/// @brief Records a model artifact observation. Deduplicated by
+/// (path, content_hash): re-loading the same file updates the existing
+/// entry (packed_adopted ORs in) instead of appending. Call sites guard
+/// with obs::enabled(); recording while disabled is a no-op.
+void record_model_artifact(ModelArtifact artifact);
+
+/// @brief Snapshot of recorded artifacts, in first-observation order.
+std::vector<ModelArtifact> model_artifacts();
+
 // ---- spans -----------------------------------------------------------------
 
 /// @brief RAII wall-clock span; nests via a thread-local path stack.

@@ -84,7 +84,7 @@ models::TinyYolo& Harness::detector() {
     tc.lr = 2e-3f;
     tc.seed = config_.seed + 11;
     const std::string key = "base_detector_" + config_.cache_tag;
-    models::cached_weights(config_.cache_dir, key, detector_->params(), [&] {
+    models::cached_detector(config_.cache_dir, key, *detector_, [&] {
       std::printf("[harness] training base detector (%d scenes, %d epochs)...\n",
                   config_.sign_train, tc.epochs);
       models::train_detector(*detector_, sign_train(), tc);
@@ -103,7 +103,7 @@ models::DistNet& Harness::distnet() {
     tc.lr = 2e-3f;
     tc.seed = config_.seed + 21;
     const std::string key = "base_distnet_" + config_.cache_tag;
-    models::cached_weights(config_.cache_dir, key, distnet_->params(), [&] {
+    models::cached_distnet(config_.cache_dir, key, *distnet_, [&] {
       std::printf("[harness] training base distnet (%d frames, %d epochs)...\n",
                   config_.drive_train, tc.epochs);
       models::train_distnet(*distnet_, drive_train(), tc);

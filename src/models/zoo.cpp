@@ -1,7 +1,9 @@
 #include "models/zoo.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <utility>
 
 #include "core/check.h"
 #include "core/obs.h"
@@ -124,6 +126,196 @@ float train_distnet(DistNet& model, const data::DrivingDataset& train,
                   last_epoch_loss);
   }
   return last_epoch_loss;
+}
+
+namespace {
+
+std::string fmt_float(float v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(v));
+  return buf;
+}
+
+// Meta echo of the architecture configs; parsed back by make_*_from_advp.
+std::vector<std::pair<std::string, std::string>> detector_meta(
+    const TinyYoloConfig& c) {
+  return {{"model", "tiny_yolo"},
+          {"img_size", std::to_string(c.img_size)},
+          {"grid", std::to_string(c.grid)},
+          {"c1", std::to_string(c.c1)},
+          {"c2", std::to_string(c.c2)},
+          {"c3", std::to_string(c.c3)},
+          {"conf_threshold", fmt_float(c.conf_threshold)},
+          {"nms_iou", fmt_float(c.nms_iou)},
+          {"positive_obj_weight", fmt_float(c.positive_obj_weight)},
+          {"box_loss_weight", fmt_float(c.box_loss_weight)}};
+}
+
+std::vector<std::pair<std::string, std::string>> distnet_meta(
+    const DistNetConfig& c) {
+  return {{"model", "distnet"},
+          {"width", std::to_string(c.width)},
+          {"height", std::to_string(c.height)},
+          {"c1", std::to_string(c.c1)},
+          {"c2", std::to_string(c.c2)},
+          {"c3", std::to_string(c.c3)},
+          {"hidden", std::to_string(c.hidden)},
+          {"distance_scale", fmt_float(c.distance_scale)}};
+}
+
+// Meta lookup helpers for rebuilding configs. A missing or unparseable
+// key leaves the config default untouched (forward compatibility: newer
+// writers may add keys, older fields keep their defaults).
+const std::string* meta_find(const nn::AdvpInfo& info, const char* key) {
+  for (const auto& [k, v] : info.meta)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void meta_get(const nn::AdvpInfo& info, const char* key, int* out) {
+  if (const std::string* v = meta_find(info, key)) *out = std::atoi(v->c_str());
+}
+
+void meta_get(const nn::AdvpInfo& info, const char* key, float* out) {
+  if (const std::string* v = meta_find(info, key))
+    *out = static_cast<float>(std::atof(v->c_str()));
+}
+
+nn::AdvpLoadResult meta_mismatch(const std::string& path, const char* want) {
+  nn::AdvpLoadResult r;
+  r.status = nn::AdvpStatus::kModelMismatch;
+  r.error = path + ": meta \"model\" is not \"" + want + '"';
+  return r;
+}
+
+}  // namespace
+
+std::uint64_t save_detector_advp(TinyYolo& model, const std::string& path) {
+  nn::AdvpSaveOptions opts;
+  opts.meta = detector_meta(model.config());
+  return nn::save_advp({&model.backbone(), &model.head()}, path, opts);
+}
+
+std::uint64_t save_distnet_advp(DistNet& model, const std::string& path) {
+  nn::AdvpSaveOptions opts;
+  opts.meta = distnet_meta(model.config());
+  return nn::save_advp({&model.net()}, path, opts);
+}
+
+nn::AdvpLoadResult load_detector_advp(TinyYolo& model, const std::string& path,
+                                      const nn::AdvpLoadOptions& opts) {
+  return nn::load_advp({&model.backbone(), &model.head()}, path, opts);
+}
+
+nn::AdvpLoadResult load_distnet_advp(DistNet& model, const std::string& path,
+                                     const nn::AdvpLoadOptions& opts) {
+  return nn::load_advp({&model.net()}, path, opts);
+}
+
+std::unique_ptr<TinyYolo> make_detector_from_advp(
+    const std::string& path, nn::AdvpLoadResult* result,
+    const nn::AdvpLoadOptions& opts) {
+  nn::AdvpInfo info;
+  nn::AdvpLoadResult r = nn::read_advp_info(path, &info);
+  if (r.ok()) {
+    const std::string* kind = meta_find(info, "model");
+    if (!kind || *kind != "tiny_yolo") r = meta_mismatch(path, "tiny_yolo");
+  }
+  std::unique_ptr<TinyYolo> model;
+  if (r.ok()) {
+    TinyYoloConfig cfg;
+    meta_get(info, "img_size", &cfg.img_size);
+    meta_get(info, "grid", &cfg.grid);
+    meta_get(info, "c1", &cfg.c1);
+    meta_get(info, "c2", &cfg.c2);
+    meta_get(info, "c3", &cfg.c3);
+    meta_get(info, "conf_threshold", &cfg.conf_threshold);
+    meta_get(info, "nms_iou", &cfg.nms_iou);
+    meta_get(info, "positive_obj_weight", &cfg.positive_obj_weight);
+    meta_get(info, "box_loss_weight", &cfg.box_loss_weight);
+    Rng rng(0);  // weights are overwritten by the load
+    model = std::make_unique<TinyYolo>(cfg, rng);
+    r = load_detector_advp(*model, path, opts);
+    if (!r.ok()) model.reset();
+  }
+  if (result) *result = r;
+  return model;
+}
+
+std::unique_ptr<DistNet> make_distnet_from_advp(
+    const std::string& path, nn::AdvpLoadResult* result,
+    const nn::AdvpLoadOptions& opts) {
+  nn::AdvpInfo info;
+  nn::AdvpLoadResult r = nn::read_advp_info(path, &info);
+  if (r.ok()) {
+    const std::string* kind = meta_find(info, "model");
+    if (!kind || *kind != "distnet") r = meta_mismatch(path, "distnet");
+  }
+  std::unique_ptr<DistNet> model;
+  if (r.ok()) {
+    DistNetConfig cfg;
+    meta_get(info, "width", &cfg.width);
+    meta_get(info, "height", &cfg.height);
+    meta_get(info, "c1", &cfg.c1);
+    meta_get(info, "c2", &cfg.c2);
+    meta_get(info, "c3", &cfg.c3);
+    meta_get(info, "hidden", &cfg.hidden);
+    meta_get(info, "distance_scale", &cfg.distance_scale);
+    Rng rng(0);
+    model = std::make_unique<DistNet>(cfg, rng);
+    r = load_distnet_advp(*model, path, opts);
+    if (!r.ok()) model.reset();
+  }
+  if (result) *result = r;
+  return model;
+}
+
+namespace {
+
+// Shared cache walk: .advp hit, legacy .bin hit (upgrade beside), miss.
+bool cached_model(const std::string& cache_dir, const std::string& key,
+                  const std::vector<nn::Param*>& params,
+                  const std::function<nn::AdvpLoadResult(const std::string&)>&
+                      load_advp_fn,
+                  const std::function<void(const std::string&)>& save_advp_fn,
+                  const std::function<void()>& train_fn) {
+  namespace fs = std::filesystem;
+  fs::create_directories(cache_dir);
+  const std::string advp_path = cache_dir + "/" + key + ".advp";
+  const std::string bin_path = cache_dir + "/" + key + ".bin";
+  if (load_advp_fn(advp_path).ok()) {
+    ADVP_OBS_COUNT(kCacheHits, 1);
+    return true;
+  }
+  if (nn::load_params_file(params, bin_path)) {
+    // Legacy hit: upgrade in place so the next process loads warm.
+    ADVP_OBS_COUNT(kCacheHits, 1);
+    save_advp_fn(advp_path);
+    return true;
+  }
+  ADVP_OBS_COUNT(kCacheMisses, 1);
+  train_fn();
+  nn::save_params_file(params, bin_path);
+  save_advp_fn(advp_path);
+  return false;
+}
+
+}  // namespace
+
+bool cached_detector(const std::string& cache_dir, const std::string& key,
+                     TinyYolo& model, const std::function<void()>& train_fn) {
+  return cached_model(
+      cache_dir, key, model.params(),
+      [&](const std::string& p) { return load_detector_advp(model, p); },
+      [&](const std::string& p) { save_detector_advp(model, p); }, train_fn);
+}
+
+bool cached_distnet(const std::string& cache_dir, const std::string& key,
+                    DistNet& model, const std::function<void()>& train_fn) {
+  return cached_model(
+      cache_dir, key, model.params(),
+      [&](const std::string& p) { return load_distnet_advp(model, p); },
+      [&](const std::string& p) { save_distnet_advp(model, p); }, train_fn);
 }
 
 bool cached_weights(const std::string& cache_dir, const std::string& key,

@@ -3,11 +3,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "data/dataset.h"
 #include "models/distnet.h"
 #include "models/tiny_yolo.h"
+#include "nn/serialize.h"
 
 namespace advp::models {
 
@@ -45,6 +47,55 @@ float train_distnet(DistNet& model, const data::DrivingDataset& train,
 bool cached_weights(const std::string& cache_dir, const std::string& key,
                     const std::vector<nn::Param*>& params,
                     const std::function<void()>& train_fn);
+
+// ---- .advp model artifacts -------------------------------------------------
+//
+// The zoo's `.advp` helpers pair each model with its canonical module
+// roots ({backbone, head} for the detector, {net} for the regressor) and
+// echo the architecture config into the container's meta section, so
+// make_*_from_advp can rebuild the exact model from the file alone.
+
+/// @brief Saves the detector (weights, calibration ranges, pre-packed
+/// panels, config meta) as a `.advp` container. Returns the content hash.
+std::uint64_t save_detector_advp(TinyYolo& model, const std::string& path);
+/// @brief Saves the regressor as a `.advp` container; see
+/// save_detector_advp.
+std::uint64_t save_distnet_advp(DistNet& model, const std::string& path);
+
+/// @brief Loads a `.advp` container into an already-built detector (shapes
+/// must match). See nn::load_advp for validation and adoption semantics.
+nn::AdvpLoadResult load_detector_advp(TinyYolo& model, const std::string& path,
+                                      const nn::AdvpLoadOptions& opts = {});
+/// @brief Loads a `.advp` container into an already-built regressor.
+nn::AdvpLoadResult load_distnet_advp(DistNet& model, const std::string& path,
+                                     const nn::AdvpLoadOptions& opts = {});
+
+/// @brief Rebuilds a detector from a `.advp` file alone: reads the config
+/// echo from the meta section (requires meta "model" = "tiny_yolo"),
+/// constructs the model, and loads the weights. Returns nullptr when the
+/// file is missing/invalid or describes a different model; `*result` (when
+/// non-null) carries the failure detail.
+std::unique_ptr<TinyYolo> make_detector_from_advp(
+    const std::string& path, nn::AdvpLoadResult* result = nullptr,
+    const nn::AdvpLoadOptions& opts = {});
+/// @brief Rebuilds a regressor from a `.advp` file (meta "model" =
+/// "distnet"); see make_detector_from_advp.
+std::unique_ptr<DistNet> make_distnet_from_advp(
+    const std::string& path, nn::AdvpLoadResult* result = nullptr,
+    const nn::AdvpLoadOptions& opts = {});
+
+/// @brief Weight cache for the detector, preferring the `.advp` artifact:
+/// loads `<cache_dir>/<key>.advp` when valid (warm packed panels, zero
+/// first-forward pack work); falls back to the legacy `<key>.bin` and
+/// writes the upgraded `.advp` beside it (legacy files carry no
+/// calibration — ranges stay as the model has them); otherwise runs
+/// `train_fn` (train + optionally calibrate) and writes both artifacts.
+/// @return true when either cache form hit.
+bool cached_detector(const std::string& cache_dir, const std::string& key,
+                     TinyYolo& model, const std::function<void()>& train_fn);
+/// @brief Weight cache for the regressor; see cached_detector.
+bool cached_distnet(const std::string& cache_dir, const std::string& key,
+                    DistNet& model, const std::function<void()>& train_fn);
 
 /// Default cache directory (created on demand): "./advp_cache".
 std::string default_cache_dir();

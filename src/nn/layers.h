@@ -39,6 +39,17 @@ class Conv2d : public Module {
   float calibration_range() const { return calib_range_; }
   void set_calibration_range(float r) { calib_range_ = r; }
 
+  /// @brief Canonical pack descriptor of the forward weight operand: the
+  /// conv GEMM runs W as op(A), [Cout x Cin*K*K] row-major, untransposed.
+  /// The `.advp` serializer exports and re-adopts panels against this key.
+  PackedWeightSpec forward_pack_spec() const {
+    const int patch = spec_.in_channels * spec_.kernel * spec_.kernel;
+    return {/*is_a=*/true, w_.value.data(), spec_.out_channels, patch,
+            patch, /*trans=*/false};
+  }
+  /// @brief Cache slot the forward GEMM serves weight panels from.
+  GemmCacheSlot& forward_pack_slot() { return wpack_fwd_; }
+
  private:
   Conv2dSpec spec_;
   Param w_, b_;
@@ -67,6 +78,15 @@ class Linear : public Module {
   /// See Conv2d::calibration_range.
   float calibration_range() const { return calib_range_; }
   void set_calibration_range(float r) { calib_range_ = r; }
+
+  /// @brief Canonical pack descriptor of the forward weight operand: the
+  /// y = x W^T GEMM reads W [out x in] as op(B) transposed (d0 = in,
+  /// d1 = out, ld = in). See Conv2d::forward_pack_spec.
+  PackedWeightSpec forward_pack_spec() const {
+    return {/*is_a=*/false, w_.value.data(), in_, out_, in_, /*trans=*/true};
+  }
+  /// @brief Cache slot the forward GEMM serves weight panels from.
+  GemmCacheSlot& forward_pack_slot() { return wpack_fwd_; }
 
  private:
   int in_ = 0, out_ = 0;

@@ -172,4 +172,43 @@ void copy_calibration(Module& src, Module& dst) {
   }
 }
 
+namespace {
+// The one walk order shared by collect/apply (and, through them, the
+// .advp calibration section): Sequential children in order, depth-first.
+void walk_ranges(Module& m, std::vector<float>* collect,
+                 const std::vector<float>* apply, std::size_t* cursor) {
+  if (auto* seq = dynamic_cast<Sequential*>(&m)) {
+    for (std::size_t i = 0; i < seq->size(); ++i)
+      walk_ranges(seq->child(i), collect, apply, cursor);
+    return;
+  }
+  if (auto* conv = dynamic_cast<Conv2d*>(&m)) {
+    if (collect) collect->push_back(conv->calibration_range());
+    if (apply) conv->set_calibration_range((*apply)[(*cursor)++]);
+    return;
+  }
+  if (auto* lin = dynamic_cast<Linear*>(&m)) {
+    if (collect) collect->push_back(lin->calibration_range());
+    if (apply) lin->set_calibration_range((*apply)[(*cursor)++]);
+  }
+}
+}  // namespace
+
+std::vector<float> collect_calibration(Module& m) {
+  std::vector<float> out;
+  std::size_t cursor = 0;
+  walk_ranges(m, &out, nullptr, &cursor);
+  return out;
+}
+
+bool apply_calibration(Module& m, const std::vector<float>& ranges) {
+  std::vector<float> probe;
+  std::size_t cursor = 0;
+  walk_ranges(m, &probe, nullptr, &cursor);
+  if (probe.size() != ranges.size()) return false;
+  walk_ranges(m, nullptr, &ranges, &cursor);
+  bump_weight_generation();
+  return true;
+}
+
 }  // namespace advp::nn

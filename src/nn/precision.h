@@ -144,4 +144,17 @@ bool has_calibration(Module& m);
 /// original.
 void copy_calibration(Module& src, Module& dst);
 
+/// @brief Recorded activation ranges of every Conv2d/Linear reachable
+/// from `m`, in deterministic walk order (Sequential children in order,
+/// depth-first) — the order the `.advp` serializer persists them in.
+/// Uncalibrated layers contribute 0.
+std::vector<float> collect_calibration(Module& m);
+
+/// @brief Restores ranges captured by collect_calibration onto the
+/// matching walk of `m`, then invalidates all packed-weight cache slots
+/// (quantized panels may have been produced under the old ranges).
+/// @return false — applying nothing — when `ranges` does not match the
+///   walk's layer count.
+bool apply_calibration(Module& m, const std::vector<float>& ranges);
+
 }  // namespace advp::nn

@@ -103,6 +103,68 @@ void ModelRegistry::add_distnet(const std::string& name, models::DistNet& src,
   tenants_.push_back(std::move(t));
 }
 
+void ModelRegistry::add_detector_advp(const std::string& name,
+                                      const std::string& path,
+                                      GemmPrecision tier,
+                                      float conf_threshold) {
+  ADVP_CHECK_MSG(!frozen_, "ModelRegistry: frozen by a live BatchServer");
+  ADVP_CHECK_MSG(!has(name), "ModelRegistry: duplicate tenant '" << name
+                                                                 << "'");
+  nn::AdvpLoadOptions lopts;
+  lopts.adopt_tier = static_cast<int>(tier);
+  nn::AdvpLoadResult r;
+  auto model = models::make_detector_from_advp(path, &r, lopts);
+  ADVP_CHECK_MSG(model, "ModelRegistry: tenant '"
+                            << name << "' from " << path << ": "
+                            << nn::advp_status_name(r.status) << " ("
+                            << r.error << ")");
+  auto t = std::make_unique<Tenant>();
+  t->name = name;
+  t->kind = ModelKind::kDetector;
+  t->tier = tier;
+  t->conf_threshold = conf_threshold;
+  t->in_h = t->in_w = model->config().img_size;
+  // The tenant owns the loaded model (no clone): the panels adopted from
+  // the file stay wired into this instance's cache slots.
+  t->detector = std::move(model);
+  if (tier == GemmPrecision::kInt8)
+    ADVP_CHECK_MSG(nn::has_calibration(t->detector->backbone()) &&
+                       nn::has_calibration(t->detector->head()),
+                   "ModelRegistry: int8 tenant '"
+                       << name << "': " << path
+                       << " carries no calibration ranges");
+  tenants_.push_back(std::move(t));
+}
+
+void ModelRegistry::add_distnet_advp(const std::string& name,
+                                     const std::string& path,
+                                     GemmPrecision tier) {
+  ADVP_CHECK_MSG(!frozen_, "ModelRegistry: frozen by a live BatchServer");
+  ADVP_CHECK_MSG(!has(name), "ModelRegistry: duplicate tenant '" << name
+                                                                 << "'");
+  nn::AdvpLoadOptions lopts;
+  lopts.adopt_tier = static_cast<int>(tier);
+  nn::AdvpLoadResult r;
+  auto model = models::make_distnet_from_advp(path, &r, lopts);
+  ADVP_CHECK_MSG(model, "ModelRegistry: tenant '"
+                            << name << "' from " << path << ": "
+                            << nn::advp_status_name(r.status) << " ("
+                            << r.error << ")");
+  auto t = std::make_unique<Tenant>();
+  t->name = name;
+  t->kind = ModelKind::kDistNet;
+  t->tier = tier;
+  t->in_h = model->config().height;
+  t->in_w = model->config().width;
+  t->distnet = std::move(model);
+  if (tier == GemmPrecision::kInt8)
+    ADVP_CHECK_MSG(nn::has_calibration(t->distnet->net()),
+                   "ModelRegistry: int8 tenant '"
+                       << name << "': " << path
+                       << " carries no calibration ranges");
+  tenants_.push_back(std::move(t));
+}
+
 // ---- BatchServer -----------------------------------------------------------
 
 namespace {

@@ -112,6 +112,23 @@ class ModelRegistry {
   void add_distnet(const std::string& name, models::DistNet& src,
                    GemmPrecision tier);
 
+  /// Registers a detection tenant straight from a `.advp` model artifact
+  /// (meta "model" = "tiny_yolo"). The tenant *owns* the loaded model —
+  /// no clone — so the file's pre-packed panels for `tier`, adopted at
+  /// load time, back the tenant's cache slots: the tenant's first forward
+  /// does zero weight pack/quantize work, and the mapped weight pages are
+  /// shared read-only with every other process serving the same file.
+  /// @throws advp::CheckError when the file is missing/invalid, describes
+  ///   a different model kind, or tier is int8 and the artifact carries no
+  ///   calibration ranges.
+  void add_detector_advp(const std::string& name, const std::string& path,
+                         GemmPrecision tier, float conf_threshold = -1.f);
+
+  /// Registers a distance tenant from a `.advp` artifact (meta "model" =
+  /// "distnet"); see add_detector_advp.
+  void add_distnet_advp(const std::string& name, const std::string& path,
+                        GemmPrecision tier);
+
   std::size_t size() const;
   bool has(const std::string& name) const;
   /// Kind/tier of a registered tenant. @throws advp::CheckError if absent.

@@ -326,12 +326,18 @@ bool cache_lookup(GemmCacheSlot* slot, const float* src, int d0, int d1,
                   int ld, bool trans, std::size_t floats,
                   GemmPrecision prec) {
   const std::uint64_t gen = weight_generation();
+  const std::size_t capacity =
+      slot->external ? slot->external_floats : slot->packed.size_floats();
   if (slot->src == src && slot->d0 == d0 && slot->d1 == d1 &&
       slot->ld == ld && slot->trans == trans && slot->generation == gen &&
-      slot->precision == prec && slot->packed.size_floats() >= floats) {
+      slot->precision == prec && capacity >= floats) {
     ADVP_OBS_COUNT(kPackCacheHits, 1);
     return true;
   }
+  // Any miss detaches an adopted external image before repacking: the
+  // slot must never write through (or keep serving) a stale mapping.
+  slot->external = nullptr;
+  slot->external_floats = 0;
   slot->packed.resize_floats(floats);
   slot->src = src;
   slot->d0 = d0;
@@ -622,7 +628,7 @@ void gemm_bf16(int m, int n, int k, const float* a, int lda, bool trans_a,
                       GemmPrecision::kBf16))
       pack_a_bf16(a, lda, trans_a, m, k,
                   reinterpret_cast<bf16_t*>(ac->packed.data()));
-    ap = reinterpret_cast<const bf16_t*>(ac->packed.data());
+    ap = reinterpret_cast<const bf16_t*>(ac->panel_data());
   } else {
     bf16_t* buf = static_cast<bf16_t*>(
         main_arena.alloc_bytes(a_elems * sizeof(bf16_t)));
@@ -646,7 +652,7 @@ void gemm_bf16(int m, int n, int k, const float* a, int lda, bool trans_a,
                     base + static_cast<std::size_t>(npad) * pc);
       }
     }
-    b_cached = reinterpret_cast<const bf16_t*>(bc->packed.data());
+    b_cached = reinterpret_cast<const bf16_t*>(bc->panel_data());
   }
 
   const std::size_t macs =
@@ -1172,7 +1178,7 @@ void gemm_int8(int m, int n, int k, const float* a, int lda, bool trans_a,
         quantize_a(ac->scales.data(), ac->comp.data(),
                    reinterpret_cast<std::int8_t*>(ac->packed.data()));
       }
-      ap = reinterpret_cast<const std::int8_t*>(ac->packed.data());
+      ap = reinterpret_cast<const std::int8_t*>(ac->panel_data());
       w_scales = ac->scales.data();
       w_comp = ac->comp.data();
     } else {
@@ -1233,7 +1239,7 @@ void gemm_int8(int m, int n, int k, const float* a, int lda, bool trans_a,
         quantize_b(bc->scales.data(), bc->comp.data(),
                    reinterpret_cast<std::int8_t*>(bc->packed.data()));
       }
-      b_full = reinterpret_cast<const std::int8_t*>(bc->packed.data());
+      b_full = reinterpret_cast<const std::int8_t*>(bc->panel_data());
       w_scales = bc->scales.data();
       w_comp = bc->comp.data();
     } else {
@@ -1405,7 +1411,7 @@ void gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
     if (!cache_lookup(ac, a, m, k, lda, trans_a, a_floats,
                       GemmPrecision::kFp32))
       pack_a(a, lda, trans_a, m, k, ac->packed.data());
-    ap = ac->packed.data();
+    ap = ac->panel_data();
   } else {
     float* buf = main_arena.alloc_floats(a_floats);
     pack_a(a, lda, trans_a, m, k, buf);
@@ -1429,7 +1435,7 @@ void gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
                bc->packed.data() + static_cast<std::size_t>(npad) * pc);
       }
     }
-    b_cached = bc->packed.data();
+    b_cached = bc->panel_data();
   }
 
   // Column stripes: each worker owns disjoint columns of C and packs its
@@ -1529,6 +1535,150 @@ void bump_weight_generation() {
 bool pack_cache_enabled() {
   const int f = g_force_pack_cache.load(std::memory_order_relaxed);
   return f < 0 ? pack_cache_env_default() : f != 0;
+}
+
+int gemm_panel_mr() { return kMr; }
+int gemm_panel_nr() { return kNr; }
+
+std::size_t packed_weights_bytes(const PackedWeightSpec& spec,
+                                 GemmPrecision p) {
+  if (spec.d0 <= 0 || spec.d1 <= 0) return 0;
+  if (spec.is_a) {
+    const std::size_t rows =
+        static_cast<std::size_t>(round_up(spec.d0, kMr));
+    switch (p) {
+      case GemmPrecision::kFp32:
+        return rows * spec.d1 * sizeof(float);
+      case GemmPrecision::kBf16:
+        return rows * spec.d1 * sizeof(bf16_t);
+      case GemmPrecision::kInt8:
+        return rows * static_cast<std::size_t>(round_up(spec.d1, 4));
+    }
+  } else {
+    const std::size_t cols =
+        static_cast<std::size_t>(round_up(spec.d1, kNr));
+    switch (p) {
+      case GemmPrecision::kFp32:
+        return cols * spec.d0 * sizeof(float);
+      case GemmPrecision::kBf16:
+        return cols * spec.d0 * sizeof(bf16_t);
+      case GemmPrecision::kInt8:
+        return cols * static_cast<std::size_t>(round_up(spec.d0, 4));
+    }
+  }
+  return 0;
+}
+
+int packed_weight_channels(const PackedWeightSpec& spec) {
+  return spec.is_a ? spec.d0 : spec.d1;
+}
+
+void export_packed_weights(const PackedWeightSpec& spec, GemmPrecision p,
+                           void* dst, float* scales, std::int32_t* comp) {
+  ADVP_CHECK_MSG(spec.src && dst && spec.d0 > 0 && spec.d1 > 0,
+                 "export_packed_weights: null or degenerate spec");
+  if (p == GemmPrecision::kFp32) {
+    float* out = static_cast<float*>(dst);
+    if (spec.is_a) {
+      pack_a(spec.src, spec.ld, spec.trans, spec.d0, spec.d1, out);
+    } else {
+      // Canonical cached-B layout: the Kc block starting at row pc begins
+      // at element offset npad*pc (same as the warm-cache pack in gemm()).
+      const int npad = round_up(spec.d1, kNr);
+      for (int pc = 0; pc < spec.d0; pc += kKc) {
+        const int kc = std::min(kKc, spec.d0 - pc);
+        pack_b(spec.src, spec.ld, spec.trans, pc, kc, 0, spec.d1,
+               out + static_cast<std::size_t>(npad) * pc);
+      }
+    }
+    return;
+  }
+  if (p == GemmPrecision::kBf16) {
+    bf16_t* out = static_cast<bf16_t*>(dst);
+    if (spec.is_a) {
+      pack_a_bf16(spec.src, spec.ld, spec.trans, spec.d0, spec.d1, out);
+    } else {
+      const int npad = round_up(spec.d1, kNr);
+      for (int pc = 0; pc < spec.d0; pc += kKc) {
+        const int kc = std::min(kKc, spec.d0 - pc);
+        pack_b_bf16(spec.src, spec.ld, spec.trans, pc, kc, 0, spec.d1,
+                    out + static_cast<std::size_t>(npad) * pc);
+      }
+    }
+    return;
+  }
+  // kInt8: the exact quantize-and-pack sequence gemm_int8 runs on a slot
+  // miss, so the exported bytes (and scales/comp) are what a warm slot
+  // would hold.
+  ADVP_CHECK_MSG(scales && comp,
+                 "export_packed_weights: int8 export needs scale/comp "
+                 "destinations");
+  ScratchArena& arena = ScratchArena::local();
+  ScratchArena::Frame frame(arena);
+  std::int8_t* out = static_cast<std::int8_t*>(dst);
+  if (spec.is_a) {
+    const int m = spec.d0, k = spec.d1;
+    weight_scales_a(spec.src, spec.ld, spec.trans, m, k, scales);
+    float* inv = arena.alloc_floats(m);
+    for (int i = 0; i < m; ++i)
+      inv[i] = scales[i] > 0.f ? 1.f / scales[i] : 0.f;
+    std::int8_t* st = static_cast<std::int8_t*>(
+        arena.alloc_bytes(static_cast<std::size_t>(m) * k));
+    stage_a_int8(spec.src, spec.ld, spec.trans, m, k, inv, 0.f, st);
+    for (int i = 0; i < m; ++i) {
+      std::int32_t s = 0;
+      for (int kk = 0; kk < k; ++kk) s += staged_a(st, spec.trans, m, k, i, kk);
+      comp[i] = 128 * s;
+    }
+    pack_a_int8(st, spec.trans, m, k, /*biased=*/false, out);
+  } else {
+    const int k = spec.d0, n = spec.d1;
+    weight_scales_b(spec.src, spec.ld, spec.trans, k, n, scales);
+    float* inv = arena.alloc_floats(n);
+    for (int j = 0; j < n; ++j)
+      inv[j] = scales[j] > 0.f ? 1.f / scales[j] : 0.f;
+    std::int8_t* st = static_cast<std::int8_t*>(
+        arena.alloc_bytes(static_cast<std::size_t>(k) * n));
+    stage_b_int8(spec.src, spec.ld, spec.trans, k, n, inv, 0.f, st);
+    for (int j = 0; j < n; ++j) {
+      std::int32_t s = 0;
+      for (int kk = 0; kk < k; ++kk) s += staged_b(st, spec.trans, k, n, kk, j);
+      comp[j] = 128 * s;
+    }
+    pack_b_int8(st, spec.trans, k, n, 0, n, /*biased=*/false, out);
+  }
+}
+
+bool adopt_packed_weights(GemmCacheSlot* slot, const PackedWeightSpec& spec,
+                          GemmPrecision p, const void* panels,
+                          std::size_t bytes, const float* scales,
+                          const std::int32_t* comp) {
+  if (!slot || !panels || !spec.src || spec.d0 <= 0 || spec.d1 <= 0)
+    return false;
+  // With the cache kill-switch on, gemm() ignores slots entirely — there
+  // is no warm path to wire the image into.
+  if (!pack_cache_enabled()) return false;
+  if (bytes != packed_weights_bytes(spec, p) || bytes == 0) return false;
+  if (p == GemmPrecision::kInt8 && (!scales || !comp)) return false;
+  slot->external = static_cast<const float*>(panels);
+  slot->external_floats = floats_for_bytes(bytes);
+  slot->src = spec.src;
+  slot->d0 = spec.d0;
+  slot->d1 = spec.d1;
+  slot->ld = spec.ld;
+  slot->trans = spec.trans;
+  slot->generation = weight_generation();
+  slot->precision = p;
+  if (p == GemmPrecision::kInt8) {
+    const std::size_t ch =
+        static_cast<std::size_t>(packed_weight_channels(spec));
+    slot->scales.assign(scales, scales + ch);
+    slot->comp.assign(comp, comp + ch);
+  } else {
+    slot->scales.clear();
+    slot->comp.clear();
+  }
+  return true;
 }
 
 const char* gemm_backend() {

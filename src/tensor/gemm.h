@@ -132,8 +132,27 @@ struct GemmCacheSlot {
   /// VNNI byte dot product. Same length as scales.
   std::vector<std::int32_t> comp;
 
-  /// Forces a repack on next use.
-  void invalidate() { src = nullptr; }
+  /// Externally owned packed panels adopted from a `.advp` model mapping
+  /// (see adopt_packed_weights). While set, gemm() serves panels straight
+  /// from this read-only image and `packed` stays untouched; any key
+  /// mismatch (weight mutation, geometry change, tier switch) drops the
+  /// pointer and repacks into the owned buffer — an adopted image is never
+  /// written through or read after the slot stops matching.
+  const float* external = nullptr;
+  std::size_t external_floats = 0;  ///< capacity of `external`, float units
+
+  /// @brief Packed panels a cache hit serves: the adopted external image
+  /// when one is installed, else the slot-owned buffer.
+  const float* panel_data() const {
+    return external ? external : packed.data();
+  }
+
+  /// Forces a repack on next use (also detaches any adopted image).
+  void invalidate() {
+    src = nullptr;
+    external = nullptr;
+    external_floats = 0;
+  }
 };
 
 /// Optional extensions to a gemm() call.
@@ -183,6 +202,77 @@ void bump_weight_generation();
 /// started with ADVP_PACK_CACHE=0 (the kill-switch restores PR 3's
 /// pack-every-call behaviour) or when the test hook forces it off.
 bool pack_cache_enabled();
+
+// ---- packed-weight export / adoption (.advp model format) ------------------
+//
+// The model serializer (nn/serialize) persists weight operands in the
+// exact panel layout the warm cache uses, so a load is a pointer fixup
+// instead of a repack/requantize. Three pieces: the build's panel
+// geometry (recorded in the file and checked on load), a byte-exact
+// export of the canonical cached layout, and slot adoption of an
+// externally owned image.
+
+/// @brief MR — row height of op(A) micro-panels in this build's packed
+/// layout (8 with AVX-512, 6 otherwise). Recorded in `.advp` headers so a
+/// loader can tell whether on-disk panels match the running build.
+int gemm_panel_mr();
+
+/// @brief NR — column width of op(B) micro-panels (32 with AVX-512, 16
+/// otherwise). See gemm_panel_mr().
+int gemm_panel_nr();
+
+/// Identifies one weight operand in the gemm() role its layer runs it as
+/// — the exact key the layer's GemmCacheSlot is validated against. Conv2d
+/// forward weights are op(A) (d0 = Cout rows, d1 = Cin*K*K columns, not
+/// transposed); Linear forward weights are op(B) read transposed
+/// (d0 = in, d1 = out, ld = in).
+struct PackedWeightSpec {
+  bool is_a = true;           ///< operand role: op(A) when true, op(B) else
+  const float* src = nullptr; ///< row-major fp32 source (the live weights)
+  int d0 = 0;                 ///< logical op() dims: m,k for A; k,n for B
+  int d1 = 0;
+  int ld = 0;                 ///< leading dimension of the raw storage
+  bool trans = false;         ///< operand is read transposed while packing
+};
+
+/// @brief Size in bytes of the canonical packed image for `spec` at tier
+/// `p`: full-k row panels for op(A) (d0 rounded up to MR), per-Kc-block
+/// column panels for fp32/bf16 op(B) (d1 rounded up to NR), full
+/// quad-padded k for int8. Matches what a warm GemmCacheSlot holds.
+std::size_t packed_weights_bytes(const PackedWeightSpec& spec,
+                                 GemmPrecision p);
+
+/// @brief Output-channel count of a weight operand (d0 for op(A), d1 for
+/// op(B)) — the length of the int8 per-channel scales/comp arrays.
+int packed_weight_channels(const PackedWeightSpec& spec);
+
+/// @brief Writes the canonical packed panels for `spec` at tier `p` into
+/// `dst` (packed_weights_bytes(spec, p) bytes, 64-byte aligned). The
+/// bytes are identical to what gemm() would stage into a cache slot on a
+/// miss, so an exported image can later be adopted verbatim. For kInt8,
+/// `scales` and `comp` (packed_weight_channels entries each) receive the
+/// per-channel quantization scales and +128-bias compensation terms and
+/// must be non-null; both are ignored for fp32/bf16.
+/// @throws advp::CheckError on a null/degenerate spec or missing int8
+///   scale/comp destinations.
+void export_packed_weights(const PackedWeightSpec& spec, GemmPrecision p,
+                           void* dst, float* scales = nullptr,
+                           std::int32_t* comp = nullptr);
+
+/// @brief Points `slot` at an externally owned packed image (an mmap'd
+/// `.advp` section) for `spec` at tier `p`, stamped with the current
+/// weight generation — the next matching gemm() call is a cache hit with
+/// zero pack/quantize work. The image must stay readable until the slot
+/// is invalidated, repacked (any weight-generation bump), or destroyed;
+/// after a mismatch the slot never touches the pointer again. For kInt8
+/// the per-channel `scales`/`comp` arrays are copied into the slot.
+/// @return false — leaving the slot unchanged — when the pack cache is
+///   disabled (ADVP_PACK_CACHE=0), `bytes` does not match
+///   packed_weights_bytes(spec, p), or a required argument is null.
+bool adopt_packed_weights(GemmCacheSlot* slot, const PackedWeightSpec& spec,
+                          GemmPrecision p, const void* panels,
+                          std::size_t bytes, const float* scales = nullptr,
+                          const std::int32_t* comp = nullptr);
 
 /// @brief Cache-blocked out-of-place transpose: dst[j*m + i] = src[i*n + j]
 /// for an m x n row-major src.
