@@ -46,6 +46,10 @@
 #include "bench_common.h"
 #include "core/parallel.h"
 #include "core/scratch.h"
+#include "models/distnet.h"
+#include "models/tiny_yolo.h"
+#include "nn/plan.h"
+#include "nn/precision.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
@@ -363,6 +367,96 @@ int main() {
           si + 1 < lp_shapes.size() ? "," : "");
       run.manifest().set(name + "_speedup", fp32_ms / lp_ms);
       run.manifest().set(name + "_pack_ratio", pack_ratio);
+    }
+  }
+  // ---- compiled execution plans --------------------------------------------
+  // Whole-model inference through nn::ExecPlan versus the uncompiled
+  // forward_fused walk, single-threaded and fully warm on both sides.
+  // `plan_speedup` (fused_ms / plan_ms) is the CI gate (>= 1.10), and
+  // `identical` asserts the compiled plan reproduces forward_fused
+  // bit-for-bit. `default_ms` recompiles with autotuning pinned off
+  // (the ADVP_TUNE=0 path) — also bit-identical, by the kernel's k-order
+  // contract.
+  std::printf("  ],\n  \"plan\": [\n");
+  {
+    Rng mrng(1234);
+    models::TinyYolo yolo({}, mrng);
+    models::DistNet dist({}, mrng);
+    struct PlanCase {
+      const char* name;
+      bool is_yolo;
+      int batch;
+    };
+    const std::vector<PlanCase> cases = {
+        {"plan_tiny_yolo_b1", true, 1},
+        {"plan_tiny_yolo_b8", true, 8},
+        {"plan_distnet_b8", false, 8},
+    };
+    for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+      const PlanCase& pc = cases[ci];
+      Rng xr(77 + static_cast<std::uint64_t>(ci));
+      const Tensor x =
+          pc.is_yolo ? Tensor::rand({pc.batch, 3, 48, 48}, xr)
+                     : Tensor::rand({pc.batch, 3, 48, 96}, xr);
+      // Both entry points open their own InferenceModeScope and consult
+      // the plan cache inside (detect/predict are the serving surfaces).
+      Tensor out_t;
+      std::vector<float> out_v;
+      auto fwd = [&]() {
+        if (pc.is_yolo) {
+          nn::InferenceModeScope inference;
+          out_t = yolo.forward_raw(x, /*train=*/false);
+        } else {
+          out_v = dist.predict(x);
+        }
+      };
+      auto same_output = [&](const Tensor& t, const std::vector<float>& v) {
+        if (pc.is_yolo) {
+          if (out_t.shape() != t.shape()) return false;
+          for (std::size_t i = 0; i < t.numel(); ++i)
+            if (out_t[i] != t[i]) return false;
+          return true;
+        }
+        return out_v == v;
+      };
+      const int reps = 40;
+      ScopedMaxWorkers one(1);
+
+      nn::plan_detail::force_plan(0);
+      fwd();
+      const Tensor fused_t = out_t;
+      const std::vector<float> fused_v = out_v;
+      const double fused_ms = best_ms(reps, [&] { fwd(); });
+
+      nn::plan_detail::force_plan(1);
+      fwd();  // compiles (autotuned) + warms
+      const double plan_ms = best_ms(reps, [&] { fwd(); });
+      bool identical = same_output(fused_t, fused_v);
+      std::string geometry;
+      if (nn::ExecPlan* plan = pc.is_yolo ? yolo.compile_plan(pc.batch)
+                                          : dist.compile_plan(pc.batch))
+        geometry = plan->geometry_string();
+
+      // Recompile with autotuning off: the build-default blocking.
+      nn::plan_detail::force_tune(0);
+      bump_weight_generation();
+      fwd();
+      const double default_ms = best_ms(reps, [&] { fwd(); });
+      identical = identical && same_output(fused_t, fused_v);
+      nn::plan_detail::force_tune(-1);
+      nn::plan_detail::force_plan(-1);
+
+      std::printf(
+          "    {\"name\": \"%s\", \"batch\": %d, \"fused_ms\": %.4f, "
+          "\"plan_ms\": %.4f, \"plan_speedup\": %.2f, "
+          "\"default_ms\": %.4f, \"tuned_vs_default\": %.2f, "
+          "\"geometry\": \"%s\", \"identical\": %s}%s\n",
+          pc.name, pc.batch, fused_ms, plan_ms, fused_ms / plan_ms,
+          default_ms, default_ms / plan_ms, geometry.c_str(),
+          identical ? "true" : "false",
+          ci + 1 < cases.size() ? "," : "");
+      run.manifest().set(std::string(pc.name) + "_speedup",
+                         fused_ms / plan_ms);
     }
   }
   std::printf("  ]\n}\n");

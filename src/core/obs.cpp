@@ -94,6 +94,16 @@ ArtifactRegistry& artifact_registry() {
   return r;
 }
 
+struct PlanRegistry {
+  std::mutex m;
+  std::vector<PlanRecord> items;  // first-observation order
+};
+
+PlanRegistry& plan_registry() {
+  static PlanRegistry r;
+  return r;
+}
+
 // Thread-local '/'-joined stack of open span names.
 thread_local std::string tl_path;
 
@@ -133,6 +143,11 @@ void reset() {
     std::lock_guard<std::mutex> lk(r.m);
     r.items.clear();
   }
+  {
+    PlanRegistry& r = plan_registry();
+    std::lock_guard<std::mutex> lk(r.m);
+    r.items.clear();
+  }
   for (auto& c : g_counters) c.store(0, std::memory_order_relaxed);
 }
 
@@ -156,6 +171,10 @@ const char* counter_name(Counter c) {
     case Counter::kServeRequests: return "serve_requests";
     case Counter::kServeBatches: return "serve_batches";
     case Counter::kServeBatchItems: return "serve_batch_items";
+    case Counter::kPlanCompiles: return "plan_compiles";
+    case Counter::kPlanCacheHits: return "plan_cache_hits";
+    case Counter::kPlanSteadyAllocs: return "plan_steady_allocs";
+    case Counter::kPlanArenaBytes: return "plan_arena_bytes";
     case Counter::kCount: break;
   }
   return "?";
@@ -186,6 +205,28 @@ void record_model_artifact(ModelArtifact artifact) {
 
 std::vector<ModelArtifact> model_artifacts() {
   ArtifactRegistry& r = artifact_registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  return r.items;
+}
+
+void record_plan(PlanRecord record) {
+  if (!enabled()) return;
+  PlanRegistry& r = plan_registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  for (PlanRecord& existing : r.items) {
+    if (existing.model == record.model &&
+        existing.input_shape == record.input_shape &&
+        existing.tier == record.tier) {
+      existing.arena_bytes = record.arena_bytes;
+      existing.geometry = std::move(record.geometry);
+      return;
+    }
+  }
+  r.items.push_back(std::move(record));
+}
+
+std::vector<PlanRecord> plan_records() {
+  PlanRegistry& r = plan_registry();
   std::lock_guard<std::mutex> lk(r.m);
   return r.items;
 }
@@ -443,6 +484,19 @@ std::string RunManifest::to_json() const {
        << (models[i].packed_adopted ? "true" : "false") << "\n    }";
   }
   os << (models.empty() ? "" : "\n  ") << "],\n";
+
+  const auto plans = plan_records();
+  os << "  \"plans\": [";
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    os << (i ? ",\n" : "\n");
+    os << "    {\n";
+    os << "      \"model\": " << quoted(plans[i].model) << ",\n";
+    os << "      \"input_shape\": " << quoted(plans[i].input_shape) << ",\n";
+    os << "      \"tier\": " << quoted(plans[i].tier) << ",\n";
+    os << "      \"arena_bytes\": " << plans[i].arena_bytes << ",\n";
+    os << "      \"geometry\": " << quoted(plans[i].geometry) << "\n    }";
+  }
+  os << (plans.empty() ? "" : "\n  ") << "],\n";
 
   const auto spans = span_snapshot();
   os << "  \"spans\": [";

@@ -88,6 +88,11 @@ enum class Counter : int {
   kServeRequests,       ///< requests enqueued into a serve::BatchServer
   kServeBatches,        ///< batched forwards executed by serve workers
   kServeBatchItems,     ///< requests coalesced into those forwards
+  kPlanCompiles,        ///< execution plans compiled (nn::ExecPlan)
+  kPlanCacheHits,       ///< forwards served by an already-compiled plan
+  kPlanSteadyAllocs,    ///< heap growth events observed during warm
+                        ///< plan execution (target: stays 0)
+  kPlanArenaBytes,      ///< bytes pre-allocated into plan buffer arenas
   kCount
 };
 
@@ -122,6 +127,30 @@ void record_model_artifact(ModelArtifact artifact);
 
 /// @brief Snapshot of recorded artifacts, in first-observation order.
 std::vector<ModelArtifact> model_artifacts();
+
+// ---- compiled execution plans ----------------------------------------------
+
+/// One execution plan compiled by nn::ExecPlan while tracing was enabled.
+/// Manifests carry these under "plans" so a run records which models were
+/// served from compiled plans, at what shapes/tiers, and which GEMM
+/// blocking geometries the autotuner picked.
+struct PlanRecord {
+  std::string model;        ///< caller label, e.g. "tiny_yolo"
+  std::string input_shape;  ///< "NxCxHxW" of the compiled input
+  std::string tier;         ///< "fp32" / "bf16" / "int8"
+  std::uint64_t arena_bytes = 0;  ///< pre-allocated intermediate bytes
+  /// Autotuned GEMM geometries, "mxkxn:mc/kc/nc" per planned GEMM
+  /// (0 = build default), ';'-joined.
+  std::string geometry;
+};
+
+/// @brief Records a compiled plan. Deduplicated by (model, input_shape,
+/// tier): recompiles update the existing entry. Call sites guard with
+/// obs::enabled(); recording while disabled is a no-op.
+void record_plan(PlanRecord record);
+
+/// @brief Snapshot of recorded plans, in first-observation order.
+std::vector<PlanRecord> plan_records();
 
 // ---- spans -----------------------------------------------------------------
 

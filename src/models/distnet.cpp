@@ -36,9 +36,32 @@ DistNet::DistNet(DistNetConfig config, Rng& rng) : config_(config) {
     head_params[k]->value *= 0.1f;
 }
 
+std::vector<nn::Module*> DistNet::plan_layers() {
+  std::vector<nn::Module*> layers;
+  layers.reserve(net_->size());
+  for (std::size_t i = 0; i < net_->size(); ++i)
+    layers.push_back(&net_->child(i));
+  return layers;
+}
+
+nn::ExecPlan* DistNet::compile_plan(int batch) {
+  return plans_.compile_now(plan_layers(),
+                            {batch, 3, config_.height, config_.width},
+                            nn::PrecisionScope::active());
+}
+
 Tensor DistNet::forward_normalized(const Tensor& batch, bool train) {
   ADVP_CHECK(batch.rank() == 4 && batch.dim(1) == 3 &&
              batch.dim(2) == config_.height && batch.dim(3) == config_.width);
+  // predict() opens InferenceModeScope, so plan_for hands out a compiled
+  // plan there; loss_backward / prediction_grad call with train=false but
+  // no scope, keeping their eager walk (and its backward caches).
+  if (!train) {
+    if (nn::ExecPlan* plan = plans_.plan_for(plan_layers(), batch)) {
+      logit_cache_ = plan->execute(batch);
+      return logit_cache_;
+    }
+  }
   // Linear head in normalized units (distance / distance_scale). A bounded
   // (sigmoid) head makes mid-range pixels the most sensitive (the logistic
   // derivative peaks at 0.5), which inverts the paper's close-range-worst

@@ -14,6 +14,7 @@
 
 #include "core/rng.h"
 #include "nn/layers.h"
+#include "nn/plan.h"
 #include "nn/precision.h"
 #include "tensor/tensor.h"
 
@@ -69,14 +70,21 @@ class DistNet {
   void zero_grad();
   nn::Sequential& net() { return *net_; }
 
+  /// Eagerly compiles the execution plan for `batch` images at the active
+  /// precision tier (serve calls this at tenant registration / server
+  /// start). Returns nullptr when planning is disabled or compile fails.
+  nn::ExecPlan* compile_plan(int batch);
+
  private:
   /// Shared forward producing normalized linear outputs [N,1] and caching
   /// for backward.
   Tensor forward_normalized(const Tensor& batch, bool train);
+  std::vector<nn::Module*> plan_layers();
 
   DistNetConfig config_;
   std::unique_ptr<nn::Sequential> net_;  // ends at Linear -> [N,1] logits
   Tensor logit_cache_;
+  nn::PlanCache plans_{"distnet"};
 };
 
 }  // namespace advp::models

@@ -29,10 +29,33 @@ TinyYolo::TinyYolo(TinyYoloConfig config, Rng& rng) : config_(config) {
   head_ = std::make_unique<nn::Conv2d>(config_.c3, 5, 1, 1, 0, rng);
 }
 
+std::vector<nn::Module*> TinyYolo::plan_layers() {
+  std::vector<nn::Module*> layers;
+  layers.reserve(backbone_->size() + 1);
+  for (std::size_t i = 0; i < backbone_->size(); ++i)
+    layers.push_back(&backbone_->child(i));
+  layers.push_back(head_.get());
+  return layers;
+}
+
+nn::ExecPlan* TinyYolo::compile_plan(int batch) {
+  return plans_.compile_now(
+      plan_layers(), {batch, 3, config_.img_size, config_.img_size},
+      nn::PrecisionScope::active());
+}
+
 Tensor TinyYolo::forward_raw(const Tensor& batch, bool train) {
   ADVP_CHECK(batch.rank() == 4 && batch.dim(1) == 3 &&
              batch.dim(2) == config_.img_size &&
              batch.dim(3) == config_.img_size);
+  // Forward-only inference (detect / objectness queries) runs the
+  // compiled plan when one is available; plan_for's scope gate keeps
+  // loss_backward's scopeless eval forwards on the eager path so the
+  // layer backward caches stay intact.
+  if (!train) {
+    if (nn::ExecPlan* plan = plans_.plan_for(plan_layers(), batch))
+      return plan->execute(batch);
+  }
   Tensor feat = backbone_->forward(batch, train);
   return head_->forward(feat, train);
 }

@@ -20,6 +20,7 @@
 #include "data/dataset.h"
 #include "image/image.h"
 #include "nn/layers.h"
+#include "nn/plan.h"
 #include "nn/precision.h"
 
 namespace advp::models {
@@ -96,7 +97,15 @@ class TinyYolo {
   /// backbone_features); returns d/d(input).
   Tensor backbone_backward(const Tensor& dfeat);
 
+  /// Eagerly compiles the execution plan for `batch` images at the active
+  /// precision tier (serve calls this at tenant registration / server
+  /// start). Returns nullptr when planning is disabled or compile fails.
+  nn::ExecPlan* compile_plan(int batch);
+
  private:
+  // Backbone children followed by the head conv — the layer list the
+  // execution-plan compiler consumes (forward_raw runs exactly this).
+  std::vector<nn::Module*> plan_layers();
   // Builds the target/objectness-weight planes for a batch.
   void build_targets(const std::vector<std::vector<Box>>& targets, int n,
                      Tensor* obj_target, Tensor* pos_mask,
@@ -106,6 +115,7 @@ class TinyYolo {
   TinyYoloConfig config_;
   std::unique_ptr<nn::Sequential> backbone_;
   std::unique_ptr<nn::Conv2d> head_;
+  nn::PlanCache plans_{"tiny_yolo"};
 };
 
 /// Greedy non-maximum suppression on score-sorted detections.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/parallel.h"
 #include "nn/precision.h"
 #include "tensor/gemm.h"
 
@@ -462,13 +463,20 @@ Tensor concat_channels(const Tensor& a, const Tensor& b) {
             w = a.dim(3);
   const std::size_t plane = static_cast<std::size_t>(h) * w;
   Tensor y({n, ca + cb, h, w});
-  for (int i = 0; i < n; ++i) {
-    float* dst = y.data() + static_cast<std::size_t>(i) * (ca + cb) * plane;
-    const float* pa = a.data() + static_cast<std::size_t>(i) * ca * plane;
-    const float* pb = b.data() + static_cast<std::size_t>(i) * cb * plane;
+  // Items write disjoint destination ranges, so the copy order is
+  // irrelevant — bit-identical at any worker count.
+  auto copy_item = [&](std::size_t i) {
+    float* dst = y.data() + i * (ca + cb) * plane;
+    const float* pa = a.data() + i * ca * plane;
+    const float* pb = b.data() + i * cb * plane;
     std::copy(pa, pa + ca * plane, dst);
     std::copy(pb, pb + cb * plane, dst + ca * plane);
-  }
+  };
+  if (n > 1 && max_workers() > 1 && !in_parallel_region())
+    parallel_for(0, static_cast<std::size_t>(n), copy_item);
+  else
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i)
+      copy_item(i);
   return y;
 }
 
@@ -479,13 +487,17 @@ void split_channels(const Tensor& dy, int c_a, Tensor* da, Tensor* db) {
   const std::size_t plane = static_cast<std::size_t>(h) * w;
   *da = Tensor({n, c_a, h, w});
   *db = Tensor({n, c_b, h, w});
-  for (int i = 0; i < n; ++i) {
-    const float* src = dy.data() + static_cast<std::size_t>(i) * c * plane;
-    std::copy(src, src + c_a * plane,
-              da->data() + static_cast<std::size_t>(i) * c_a * plane);
+  auto copy_item = [&](std::size_t i) {
+    const float* src = dy.data() + i * c * plane;
+    std::copy(src, src + c_a * plane, da->data() + i * c_a * plane);
     std::copy(src + c_a * plane, src + c * plane,
-              db->data() + static_cast<std::size_t>(i) * c_b * plane);
-  }
+              db->data() + i * c_b * plane);
+  };
+  if (n > 1 && max_workers() > 1 && !in_parallel_region())
+    parallel_for(0, static_cast<std::size_t>(n), copy_item);
+  else
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i)
+      copy_item(i);
 }
 
 }  // namespace advp::nn

@@ -78,6 +78,13 @@ void ModelRegistry::add_detector(const std::string& name,
                        << "' needs calibration (TinyYolo::calibrate) — a "
                           "dynamic activation scale would break "
                           "batched-vs-serial bit-identity");
+  // Compile the single-frame execution plan now, at the tenant's tier, so
+  // the first request pays no compile latency (BatchServer precompiles
+  // the batched shapes at startup).
+  {
+    nn::ThreadPrecisionScope scope(tier);
+    t->detector->compile_plan(1);
+  }
   tenants_.push_back(std::move(t));
 }
 
@@ -100,6 +107,10 @@ void ModelRegistry::add_distnet(const std::string& name, models::DistNet& src,
                        << "' needs calibration (DistNet::calibrate) — a "
                           "dynamic activation scale would break "
                           "batched-vs-serial bit-identity");
+  {
+    nn::ThreadPrecisionScope scope(tier);
+    t->distnet->compile_plan(1);
+  }
   tenants_.push_back(std::move(t));
 }
 
@@ -133,6 +144,10 @@ void ModelRegistry::add_detector_advp(const std::string& name,
                    "ModelRegistry: int8 tenant '"
                        << name << "': " << path
                        << " carries no calibration ranges");
+  {
+    nn::ThreadPrecisionScope scope(tier);
+    t->detector->compile_plan(1);
+  }
   tenants_.push_back(std::move(t));
 }
 
@@ -162,6 +177,10 @@ void ModelRegistry::add_distnet_advp(const std::string& name,
                    "ModelRegistry: int8 tenant '"
                        << name << "': " << path
                        << " carries no calibration ranges");
+  {
+    nn::ThreadPrecisionScope scope(tier);
+    t->distnet->compile_plan(1);
+  }
   tenants_.push_back(std::move(t));
 }
 
@@ -230,6 +249,18 @@ BatchServer::BatchServer(ModelRegistry& registry, ServeConfig config)
   ADVP_CHECK_MSG(config_.workers >= 1, "BatchServer: workers must be >= 1");
   ADVP_CHECK_MSG(registry.size() > 0, "BatchServer: empty registry");
   registry.frozen_ = true;
+  // Precompile every tenant's full-batch execution plan up front:
+  // workers coalesce up to max_batch_size frames per forward, and the
+  // plan cache keys on the input shape, so the common batch bucket is
+  // warm before the first request arrives.
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    ModelRegistry::Tenant& t = *registry.tenants_[i];
+    nn::ThreadPrecisionScope scope(t.tier);
+    if (t.detector)
+      t.detector->compile_plan(config_.max_batch_size);
+    else if (t.distnet)
+      t.distnet->compile_plan(config_.max_batch_size);
+  }
   state_->queues.reserve(registry.size());
   for (std::size_t i = 0; i < registry.size(); ++i) {
     auto q = std::make_unique<TenantQueue>();

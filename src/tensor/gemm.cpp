@@ -71,6 +71,22 @@ bool pack_cache_env_default() {
 
 inline int round_up(int v, int to) { return (v + to - 1) / to * to; }
 
+// Effective cache-blocking for one call. Requested values are sanitized
+// (Mc to an MR multiple, Nc to an NR multiple); Kc is pinned to the build
+// default whenever a cached/adopted op(B) image serves the call, because
+// the canonical cached layout places the block at row pc at offset
+// npad*pc with kKc-deep blocks.
+struct Blocking {
+  int mc, kc, nc;
+};
+inline Blocking resolve_blocking(const GemmBlocking& req, bool b_is_cached) {
+  Blocking eff{kMc, kKc, kNc};
+  if (req.mc > 0) eff.mc = round_up(req.mc, kMr);
+  if (req.kc > 0 && !b_is_cached) eff.kc = req.kc;
+  if (req.nc > 0) eff.nc = round_up(req.nc, kNr);
+  return eff;
+}
+
 // op(A)(i, kk) / op(B)(kk, j) under the trans flags.
 inline float a_at(const float* a, int lda, bool trans_a, int i, int kk) {
   return trans_a ? a[static_cast<std::size_t>(kk) * lda + i]
@@ -657,14 +673,15 @@ void gemm_bf16(int m, int n, int k, const float* a, int lda, bool trans_a,
 
   const std::size_t macs =
       static_cast<std::size_t>(m) * n * static_cast<std::size_t>(k);
+  const Blocking blk = resolve_blocking(extra.blocking, b_cached != nullptr);
   const bool fan_out =
       macs >= kParallelMacLimit && max_workers() > 1 && !in_parallel_region();
-  int stripe_w = kNc;
+  int stripe_w = blk.nc;
   if (fan_out) {
     const int per_worker =
         (n + static_cast<int>(max_workers()) - 1) /
         static_cast<int>(max_workers());
-    stripe_w = std::clamp(round_up(per_worker, kNr), kNr, kNc);
+    stripe_w = std::clamp(round_up(per_worker, kNr), kNr, blk.nc);
   }
   const std::size_t stripes =
       (static_cast<std::size_t>(n) + stripe_w - 1) / stripe_w;
@@ -678,10 +695,10 @@ void gemm_bf16(int m, int n, int k, const float* a, int lda, bool trans_a,
     bf16_t* bp_scratch =
         b_cached ? nullptr
                  : static_cast<bf16_t*>(arena.alloc_bytes(
-                       static_cast<std::size_t>(std::min(kKc, k)) * nw_pad *
+                       static_cast<std::size_t>(std::min(blk.kc, k)) * nw_pad *
                        sizeof(bf16_t)));
-    for (int pc = 0; pc < k; pc += kKc) {
-      const int kc = std::min(kKc, k - pc);
+    for (int pc = 0; pc < k; pc += blk.kc) {
+      const int kc = std::min(blk.kc, k - pc);
       const bf16_t* bp;
       if (b_cached) {
         bp = b_cached + static_cast<std::size_t>(npad) * pc +
@@ -692,8 +709,8 @@ void gemm_bf16(int m, int n, int k, const float* a, int lda, bool trans_a,
       }
       const bool zero_first = pc == 0;
       const bool last_panel = pc + kc == k;
-      for (int ic = 0; ic < m; ic += kMc) {
-        const int mc = std::min(kMc, m - ic);
+      for (int ic = 0; ic < m; ic += blk.mc) {
+        const int mc = std::min(blk.mc, m - ic);
         for (int jp = 0; jp < nw; jp += kNr) {
           const bf16_t* bpanel =
               bp + static_cast<std::size_t>(jp / kNr) * kc * kNr;
@@ -1262,14 +1279,17 @@ void gemm_int8(int m, int n, int k, const float* a, int lda, bool trans_a,
 
   const std::size_t macs =
       static_cast<std::size_t>(m) * n * static_cast<std::size_t>(k);
+  // int8 panels interleave the full (quad-padded) k range, so only the
+  // stripe width is tunable; Mc/Kc requests are ignored.
+  const Blocking blk = resolve_blocking(extra.blocking, /*b_is_cached=*/true);
   const bool fan_out =
       macs >= kParallelMacLimit && max_workers() > 1 && !in_parallel_region();
-  int stripe_w = kNc;
+  int stripe_w = blk.nc;
   if (fan_out) {
     const int per_worker =
         (n + static_cast<int>(max_workers()) - 1) /
         static_cast<int>(max_workers());
-    stripe_w = std::clamp(round_up(per_worker, kNr), kNr, kNc);
+    stripe_w = std::clamp(round_up(per_worker, kNr), kNr, blk.nc);
   }
   const std::size_t stripes =
       (static_cast<std::size_t>(n) + stripe_w - 1) / stripe_w;
@@ -1442,14 +1462,15 @@ void gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
   // own B panels into its thread-local arena. Stripe geometry is a pure
   // scheduling choice — every output element's k-accumulation is the same
   // regardless of where the stripe boundaries fall.
+  const Blocking blk = resolve_blocking(extra.blocking, b_cached != nullptr);
   const bool fan_out =
       macs >= kParallelMacLimit && max_workers() > 1 && !in_parallel_region();
-  int stripe_w = kNc;
+  int stripe_w = blk.nc;
   if (fan_out) {
     const int per_worker =
         (n + static_cast<int>(max_workers()) - 1) /
         static_cast<int>(max_workers());
-    stripe_w = std::clamp(round_up(per_worker, kNr), kNr, kNc);
+    stripe_w = std::clamp(round_up(per_worker, kNr), kNr, blk.nc);
   }
   const std::size_t stripes =
       (static_cast<std::size_t>(n) + stripe_w - 1) / stripe_w;
@@ -1463,9 +1484,9 @@ void gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
     float* bp_scratch =
         b_cached ? nullptr
                  : arena.alloc_floats(
-                       static_cast<std::size_t>(std::min(kKc, k)) * nw_pad);
-    for (int pc = 0; pc < k; pc += kKc) {
-      const int kc = std::min(kKc, k - pc);
+                       static_cast<std::size_t>(std::min(blk.kc, k)) * nw_pad);
+    for (int pc = 0; pc < k; pc += blk.kc) {
+      const int kc = std::min(blk.kc, k - pc);
       const float* bp;
       if (b_cached) {
         bp = b_cached + static_cast<std::size_t>(npad) * pc +
@@ -1480,8 +1501,8 @@ void gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
       // tile only after its last panel completes the sum.
       const bool zero_first = pc == 0 && !accumulate;
       const bool last_panel = pc + kc == k;
-      for (int ic = 0; ic < m; ic += kMc) {
-        const int mc = std::min(kMc, m - ic);
+      for (int ic = 0; ic < m; ic += blk.mc) {
+        const int mc = std::min(blk.mc, m - ic);
         for (int jp = 0; jp < nw; jp += kNr) {
           const float* bpanel =
               bp + static_cast<std::size_t>(jp / kNr) * kc * kNr;
@@ -1507,6 +1528,14 @@ void gemm(int m, int n, int k, const float* a, int lda, bool trans_a,
     parallel_for(0, stripes, 1, run_stripe);
   else
     for (std::size_t s = 0; s < stripes; ++s) run_stripe(s);
+}
+
+bool gemm_blocking_applies(int m, int n, int k, GemmPrecision p) {
+  if (m <= 0 || n <= 0 || k <= 0) return false;
+  if (p != GemmPrecision::kFp32) return true;
+  const std::size_t macs =
+      static_cast<std::size_t>(m) * n * static_cast<std::size_t>(k);
+  return !(macs <= kNaiveMacLimit || n < 8);
 }
 
 void transpose_blocked(const float* src, int m, int n, float* dst) {

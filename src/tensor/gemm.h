@@ -155,6 +155,20 @@ struct GemmCacheSlot {
   }
 };
 
+/// Per-call override of the cache-blocking geometry (Mc rows of A per
+/// inner block, Kc accumulation depth per panel, Nc stripe width). Zero
+/// fields keep the build defaults. Blocking is a pure scheduling choice:
+/// the k-order contract makes results bit-identical for any geometry, so
+/// an autotuner may pick whatever times fastest. Requested values are
+/// sanitized inside gemm() — Mc is rounded up to MR, Nc to NR, and Kc is
+/// ignored whenever a cached op(B) image serves the call (the canonical
+/// cached layout is keyed to the default Kc).
+struct GemmBlocking {
+  int mc = 0;
+  int kc = 0;
+  int nc = 0;
+};
+
 /// Optional extensions to a gemm() call.
 struct GemmExtra {
   GemmCacheSlot* a_cache = nullptr;  ///< pack-once cache for op(A)
@@ -171,7 +185,17 @@ struct GemmExtra {
   /// activation absmax serially before any fan-out, so the scale — and the
   /// result — is independent of worker count and stripe geometry.
   float act_scale = 0.f;
+  /// Cache-blocking override for this call (plan autotuner). Zero = build
+  /// defaults; ignored entirely on the small-shape naive fp32 path.
+  GemmBlocking blocking;
 };
+
+/// @brief True when a gemm() of this shape at tier `p` runs the blocked
+/// kernel, i.e. when a GemmBlocking override can affect scheduling at all.
+/// fp32 falls back to the naive loop for tiny products and narrow C; the
+/// reduced-precision tiers always run blocked. Lets an autotuner skip
+/// shapes where candidate timing would measure nothing.
+bool gemm_blocking_applies(int m, int n, int k, GemmPrecision p);
 
 /// @brief C = op(A) * op(B), optionally accumulating into C.
 /// @param m,n,k Logical GEMM dimensions: op(A) is m x k, op(B) is k x n.

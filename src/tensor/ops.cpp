@@ -36,11 +36,13 @@ namespace {
 // arena for (floats). Batches larger than this are processed in groups.
 constexpr std::size_t kColsBudgetFloats = std::size_t{4} << 20;  // 16 MiB
 
+}  // namespace
+
 // Lowers x [Cin,H,W] to columns: row p of the [Cin*K*K, Ho*Wo] column
 // matrix lands at cols[p*cols_ld ...]. `cols_ld` lets several batch items
 // share one wide matrix (each item owns a disjoint Ho*Wo column block).
-void im2col(const float* x, int c_in, int h, int w, const Conv2dSpec& s,
-            float* cols, std::size_t cols_ld) {
+void im2col_lower(const float* x, int c_in, int h, int w,
+                  const Conv2dSpec& s, float* cols, std::size_t cols_ld) {
   const int ho = s.out_h(h), wo = s.out_w(w);
   const int patch = c_in * s.kernel * s.kernel;
   for (int p = 0; p < patch; ++p) {
@@ -60,6 +62,8 @@ void im2col(const float* x, int c_in, int h, int w, const Conv2dSpec& s,
     }
   }
 }
+
+namespace {
 
 // Scatters columns [Cin*K*K, Ho*Wo] back into dx [Cin,H,W] (accumulating).
 void col2im(const float* cols, int c_in, int h, int w, const Conv2dSpec& s,
@@ -149,8 +153,8 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
     ScratchArena::Frame frame(arena);
     float* cols = arena.alloc_floats(static_cast<std::size_t>(patch) * wide);
     auto lower = [&](std::size_t i) {
-      im2col(x.data() + (n0 + i) * x_stride, c_in, h, wd, spec,
-             cols + i * pixels, wide);
+      im2col_lower(x.data() + (n0 + i) * x_stride, c_in, h, wd, spec,
+                   cols + i * pixels, wide);
     };
     if (gn > 1 && max_workers() > 1 && !in_parallel_region())
       parallel_for(0, gn, lower);
@@ -248,7 +252,7 @@ Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
     ScratchArena::Frame frame(arena);
     float* cols =
         arena.alloc_floats(static_cast<std::size_t>(patch) * pixels);
-    im2col(x.data() + i * x_stride, c_in, h, wd, spec, cols, pixels);
+    im2col_lower(x.data() + i * x_stride, c_in, h, wd, spec, cols, pixels);
     // dW_i = dY_i * cols_i^T  [Cout, patch]
     Tensor dwi({spec.out_channels, patch});
     gemm(spec.out_channels, patch, pixels, dyp, pixels, /*trans_a=*/false,

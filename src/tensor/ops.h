@@ -61,6 +61,14 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
                       const Conv2dSpec& spec,
                       const ConvFusion* fusion = nullptr);
 
+/// Lowers one image x [Cin,H,W] to its im2col column matrix: row p of the
+/// [Cin*K*K, Ho*Wo] matrix lands at cols[p*cols_ld ...]. This is the exact
+/// lowering conv2d_forward uses internally; exposed so a compiled
+/// execution plan (nn/plan) can stage the identical GEMM operand into its
+/// own scratch and stay bit-identical to the eager conv.
+void im2col_lower(const float* x, int c_in, int h, int w,
+                  const Conv2dSpec& s, float* cols, std::size_t cols_ld);
+
 struct Conv2dGrads {
   Tensor dx;  ///< gradient w.r.t. input, same shape as x
   Tensor dw;  ///< gradient w.r.t. weights

@@ -30,10 +30,17 @@ Two reduced-precision sections gate the inference tiers:
   single thread, calibrated activation scale) must clear INT8_SPEEDUP_MIN
   on every committed shape, baseline-relative on top.
 
+One section gates the execution-plan compiler:
+
+- "plan": whole-model inference through a compiled nn::ExecPlan vs the
+  uncompiled forward_fused walk, both warm and single-threaded.
+  plan_speedup must clear PLAN_SPEEDUP_MIN on every committed model.
+
 Also asserts `identical: true` for every entry: the blocked kernel, the
-fused epilogue, the warm-cache path, and both reduced-precision tiers
-(SIMD vs portable micro-kernel) must all stay bit-identical to their
-reference passes, on any runner. Exit code 1 on any failure.
+fused epilogue, the warm-cache path, both reduced-precision tiers
+(SIMD vs portable micro-kernel), and the compiled plan (vs forward_fused,
+autotuned and default blocking alike) must all stay bit-identical to
+their reference passes, on any runner. Exit code 1 on any failure.
 """
 import json
 import sys
@@ -43,6 +50,7 @@ FUSED_MIN = 1.15  # fused epilogue must beat separate passes by >= 15%
 PACK_REDUCTION_MIN = 0.80  # warm calls must skip >= 80% of packing bytes
 BF16_PACK_MAX = 0.55  # bf16 panels must stay <= 55% of fp32 pack bytes
 INT8_SPEEDUP_MIN = 1.50  # calibrated int8 must beat warm fp32 by >= 50%
+PLAN_SPEEDUP_MIN = 1.10  # compiled plan must beat forward_fused by >= 10%
 
 
 def load_sections(path):
@@ -52,7 +60,7 @@ def load_sections(path):
     root = data.get("micro_gemm", data)
     return {
         key: {s["name"]: s for s in root.get(key, [])}
-        for key in ("shapes", "fused", "warm_cache", "bf16", "int8")
+        for key in ("shapes", "fused", "warm_cache", "bf16", "int8", "plan")
     }
 
 
@@ -92,6 +100,7 @@ def main():
         ("warm_cache", "pack_bytes_reduction", PACK_REDUCTION_MIN, "warm cache"),
         ("bf16", "pack_ratio", None, "bf16 tier"),
         ("int8", "speedup", INT8_SPEEDUP_MIN, "int8 tier"),
+        ("plan", "plan_speedup", PLAN_SPEEDUP_MIN, "compiled plan"),
     ):
         for name, b in sorted(base[section].items()):
             f = fresh[section].get(name)
