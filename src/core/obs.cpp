@@ -104,6 +104,16 @@ PlanRegistry& plan_registry() {
   return r;
 }
 
+struct CampaignRegistry {
+  std::mutex m;
+  std::vector<CampaignRecord> items;  // execution order
+};
+
+CampaignRegistry& campaign_registry() {
+  static CampaignRegistry r;
+  return r;
+}
+
 // Thread-local '/'-joined stack of open span names.
 thread_local std::string tl_path;
 
@@ -148,6 +158,11 @@ void reset() {
     std::lock_guard<std::mutex> lk(r.m);
     r.items.clear();
   }
+  {
+    CampaignRegistry& r = campaign_registry();
+    std::lock_guard<std::mutex> lk(r.m);
+    r.items.clear();
+  }
   for (auto& c : g_counters) c.store(0, std::memory_order_relaxed);
 }
 
@@ -175,6 +190,10 @@ const char* counter_name(Counter c) {
     case Counter::kPlanCacheHits: return "plan_cache_hits";
     case Counter::kPlanSteadyAllocs: return "plan_steady_allocs";
     case Counter::kPlanArenaBytes: return "plan_arena_bytes";
+    case Counter::kSimSteps: return "sim_steps";
+    case Counter::kSimScenarios: return "sim_scenarios";
+    case Counter::kCampaignBatchItems: return "campaign_batch_items";
+    case Counter::kCampaignCohortRefills: return "campaign_cohort_refills";
     case Counter::kCount: break;
   }
   return "?";
@@ -227,6 +246,19 @@ void record_plan(PlanRecord record) {
 
 std::vector<PlanRecord> plan_records() {
   PlanRegistry& r = plan_registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  return r.items;
+}
+
+void record_campaign(CampaignRecord record) {
+  if (!enabled()) return;
+  CampaignRegistry& r = campaign_registry();
+  std::lock_guard<std::mutex> lk(r.m);
+  r.items.push_back(std::move(record));
+}
+
+std::vector<CampaignRecord> campaign_records() {
+  CampaignRegistry& r = campaign_registry();
   std::lock_guard<std::mutex> lk(r.m);
   return r.items;
 }
@@ -497,6 +529,21 @@ std::string RunManifest::to_json() const {
     os << "      \"geometry\": " << quoted(plans[i].geometry) << "\n    }";
   }
   os << (plans.empty() ? "" : "\n  ") << "],\n";
+
+  const auto campaigns = campaign_records();
+  os << "  \"campaigns\": [";
+  for (std::size_t i = 0; i < campaigns.size(); ++i) {
+    os << (i ? ",\n" : "\n");
+    os << "    {\n";
+    os << "      \"matrix\": " << quoted(campaigns[i].matrix) << ",\n";
+    os << "      \"scenarios\": " << campaigns[i].scenarios << ",\n";
+    os << "      \"shards\": " << campaigns[i].shards << ",\n";
+    os << "      \"cohort\": " << campaigns[i].cohort << ",\n";
+    os << "      \"workers\": " << campaigns[i].workers << ",\n";
+    os << "      \"scenarios_per_s\": " << num(campaigns[i].scenarios_per_s)
+       << "\n    }";
+  }
+  os << (campaigns.empty() ? "" : "\n  ") << "],\n";
 
   const auto spans = span_snapshot();
   os << "  \"spans\": [";

@@ -93,6 +93,10 @@ enum class Counter : int {
   kPlanSteadyAllocs,    ///< heap growth events observed during warm
                         ///< plan execution (target: stays 0)
   kPlanArenaBytes,      ///< bytes pre-allocated into plan buffer arenas
+  kSimSteps,            ///< ACC control steps simulated (any path)
+  kSimScenarios,        ///< ACC scenarios completed (any path)
+  kCampaignBatchItems,  ///< frames stacked into lockstep batched predicts
+  kCampaignCohortRefills,  ///< finished lockstep lanes refilled in place
   kCount
 };
 
@@ -151,6 +155,27 @@ void record_plan(PlanRecord record);
 
 /// @brief Snapshot of recorded plans, in first-observation order.
 std::vector<PlanRecord> plan_records();
+
+// ---- scenario campaigns ----------------------------------------------------
+
+/// One campaign execution (sim/campaign.h) recorded while tracing was
+/// enabled. Manifests carry these under "campaigns" so a run records the
+/// matrix it swept, how it was sharded, and the throughput achieved.
+struct CampaignRecord {
+  std::string matrix;            ///< regime-grid dims, e.g. "styles=3x traj=5"
+  std::uint64_t scenarios = 0;   ///< scenarios completed
+  std::uint64_t shards = 0;      ///< shard processes (0 = single-process)
+  std::uint64_t cohort = 0;      ///< lockstep cohort size
+  std::uint64_t workers = 0;     ///< worker threads per process
+  double scenarios_per_s = 0.0;  ///< end-to-end campaign throughput
+};
+
+/// @brief Records a campaign execution (append-only; every run is a
+/// distinct record). Call sites guard with obs::enabled().
+void record_campaign(CampaignRecord record);
+
+/// @brief Snapshot of recorded campaigns, in execution order.
+std::vector<CampaignRecord> campaign_records();
 
 // ---- spans -----------------------------------------------------------------
 

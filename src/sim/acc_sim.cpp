@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/obs.h"
 #include "core/parallel.h"
 #include "models/zoo.h"
 
@@ -32,82 +33,110 @@ float AccSimulator::control(float gap_est, float v_ego,
   return longitudinal_accel(params_, gap_est, v_ego, closing_speed);
 }
 
+AccStepper::AccStepper(const AccScenario& scenario, const AccParams& params,
+                       bool record_trace)
+    : sc_(scenario),
+      params_(params),
+      record_trace_(record_trace),
+      gap_(scenario.initial_gap),
+      v_ego_(scenario.v_ego),
+      v_lead_(scenario.v_lead),
+      // Filtered lead track (gap + closing speed). Differentiating raw
+      // per-frame CNN output would inject meters-scale noise into the
+      // closing-speed term.
+      gap_track_(scenario.initial_gap),
+      n_steps_(static_cast<int>(scenario.duration / params.dt)) {
+  ADVP_CHECK(scenario.duration > 0.f && scenario.initial_gap > 0.f);
+  res_.min_gap = scenario.initial_gap;
+  res_.min_ttc = kNoTtcEvent;
+  done_ = n_steps_ <= 0;
+}
+
+void AccStepper::step(float pred) {
+  ADVP_CHECK(!done_);
+  const float t = static_cast<float>(k_) * params_.dt;
+
+  const float prev_gap_track = gap_track_;
+  gap_track_ += params_.gap_filter_alpha * (pred - gap_track_);
+  const float raw_closing = (prev_gap_track - gap_track_) / params_.dt;
+  closing_track_ +=
+      params_.closing_filter_alpha * (raw_closing - closing_track_);
+  const float accel = longitudinal_accel(params_, gap_track_, v_ego_,
+                                         closing_track_);
+
+  if (record_trace_)
+    res_.trace.push_back({t, gap_, pred, v_ego_, v_lead_, accel});
+  abs_err_acc_ += std::fabs(pred - gap_);
+  ++steps_;
+
+  // Advance physics.
+  float lead_accel = 0.f;
+  if (sc_.lead_brake_at >= 0.f && t >= sc_.lead_brake_at &&
+      t < sc_.lead_brake_until)
+    lead_accel = sc_.lead_brake;
+  // Cut-in: a new, closer lead appears (the track restarts on it).
+  if (sc_.cut_in_at >= 0.f && t >= sc_.cut_in_at &&
+      t < sc_.cut_in_at + params_.dt) {
+    gap_ = std::min(gap_, sc_.cut_in_gap);
+    gap_track_ = std::min(gap_track_, sc_.cut_in_gap);
+  }
+  // Cut-out: the lead exits the lane, revealing the farther next-ahead
+  // vehicle. The track is left to converge through the filter, exactly
+  // as the perception stack would experience it.
+  if (sc_.cut_out_at >= 0.f && t >= sc_.cut_out_at &&
+      t < sc_.cut_out_at + params_.dt)
+    gap_ = std::max(gap_, sc_.cut_out_gap);
+  v_lead_ = std::max(0.f, v_lead_ + lead_accel * params_.dt);
+  v_ego_ = std::max(0.f, v_ego_ + accel * params_.dt);
+  gap_ += (v_lead_ - v_ego_) * params_.dt;
+
+  res_.min_gap = std::min(res_.min_gap, gap_);
+  const float closing_true = v_ego_ - v_lead_;
+  if (closing_true > 0.1f)
+    res_.min_ttc = std::min(res_.min_ttc, gap_ / closing_true);
+  ++k_;
+  if (gap_ <= 0.f) {
+    res_.collided = true;
+    done_ = true;
+  } else if (k_ >= n_steps_) {
+    done_ = true;
+  }
+}
+
+AccResult AccStepper::finish() {
+  res_.mean_abs_gap_error =
+      steps_ > 0 ? static_cast<float>(abs_err_acc_ / steps_) : 0.f;
+  res_.steps = steps_;
+  return std::move(res_);
+}
+
 AccResult AccSimulator::run(const AccScenario& sc, Rng& rng,
-                            const FrameHook& attack) {
-  ADVP_CHECK(sc.duration > 0.f && sc.initial_gap > 0.f);
-  AccResult res;
-  res.min_gap = sc.initial_gap;
-  res.min_ttc = 1e9f;
-
+                            const FrameHook& attack,
+                            const AccRunOptions& options) {
   data::SceneStyle style = generator_.sample_style(rng);
-  float gap = sc.initial_gap;
-  float v_ego = sc.v_ego;
-  float v_lead = sc.v_lead;
-  // Filtered lead track (gap + closing speed), initialized from the first
-  // prediction. Differentiating raw per-frame CNN output would inject
-  // meters-scale noise into the closing-speed term.
-  float gap_track = sc.initial_gap;
-  float closing_track = 0.f;
-  double abs_err_acc = 0.0;
-  int steps = 0;
+  if (options.style_transform) style = options.style_transform(style);
 
-  const int n_steps = static_cast<int>(sc.duration / params_.dt);
-  for (int k = 0; k < n_steps; ++k) {
-    const float t = static_cast<float>(k) * params_.dt;
-
+  AccStepper stepper(sc, params_, options.record_trace);
+  while (!stepper.done()) {
     // Render the camera view of the current gap.
     const float render_gap =
-        std::clamp(gap, generator_.params().min_distance,
+        std::clamp(stepper.gap(), generator_.params().min_distance,
                    generator_.params().max_distance);
     data::DrivingFrame frame = generator_.render(render_gap, style, rng);
 
     Tensor x = frame.image.to_batch();
     if (attack) x = attack(x, frame.lead_box);
-    const float pred = perception_.predict(x)[0];
-
-    const float prev_gap_track = gap_track;
-    gap_track += params_.gap_filter_alpha * (pred - gap_track);
-    const float raw_closing = (prev_gap_track - gap_track) / params_.dt;
-    closing_track +=
-        params_.closing_filter_alpha * (raw_closing - closing_track);
-    const float accel = control(gap_track, v_ego, closing_track);
-
-    res.trace.push_back({t, gap, pred, v_ego, v_lead, accel});
-    abs_err_acc += std::fabs(pred - gap);
-    ++steps;
-
-    // Advance physics.
-    float lead_accel = 0.f;
-    if (sc.lead_brake_at >= 0.f && t >= sc.lead_brake_at &&
-        t < sc.lead_brake_until)
-      lead_accel = sc.lead_brake;
-    // Cut-in: a new, closer lead appears (the track restarts on it).
-    if (sc.cut_in_at >= 0.f && t >= sc.cut_in_at &&
-        t < sc.cut_in_at + params_.dt) {
-      gap = std::min(gap, sc.cut_in_gap);
-      gap_track = std::min(gap_track, sc.cut_in_gap);
-    }
-    v_lead = std::max(0.f, v_lead + lead_accel * params_.dt);
-    v_ego = std::max(0.f, v_ego + accel * params_.dt);
-    gap += (v_lead - v_ego) * params_.dt;
-
-    res.min_gap = std::min(res.min_gap, gap);
-    const float closing_true = v_ego - v_lead;
-    if (closing_true > 0.1f)
-      res.min_ttc = std::min(res.min_ttc, gap / closing_true);
-    if (gap <= 0.f) {
-      res.collided = true;
-      break;
-    }
+    stepper.step(perception_.predict(x)[0]);
   }
-  res.mean_abs_gap_error =
-      steps > 0 ? static_cast<float>(abs_err_acc / steps) : 0.f;
-  return res;
+  ADVP_OBS_COUNT(kSimSteps, static_cast<std::uint64_t>(stepper.steps()));
+  ADVP_OBS_COUNT(kSimScenarios, 1);
+  return stepper.finish();
 }
 
 std::vector<AccResult> AccSimulator::run_batch(
     const std::vector<AccScenario>& scenarios, std::uint64_t base_seed,
-    const ScenarioAttackFactory& attack_factory) {
+    const ScenarioAttackFactory& attack_factory,
+    const AccRunOptions& options) {
   const std::size_t n = scenarios.size();
   std::vector<AccResult> out(n);
   if (n == 0) return out;
@@ -125,7 +154,7 @@ std::vector<AccResult> AccSimulator::run_batch(
     AccSimulator sim(model, generator_, params_);
     Rng rng(Rng::stream_seed(base_seed, i));
     FrameHook hook = attack_factory ? attack_factory(i, model) : FrameHook();
-    out[i] = sim.run(scenarios[i], rng, hook);
+    out[i] = sim.run(scenarios[i], rng, hook, options);
   });
   return out;
 }

@@ -49,11 +49,23 @@ AccScenario cut_in() {
   return sc;
 }
 
+AccScenario cut_out() {
+  AccScenario sc;
+  sc.initial_gap = 25.f;
+  sc.v_ego = 16.f;
+  sc.v_lead = 14.f;
+  sc.cut_out_at = 4.f;
+  sc.cut_out_gap = 55.f;
+  sc.duration = 12.f;
+  return sc;
+}
+
 std::vector<NamedScenario> standard_scenarios() {
   return {{"steady_follow", steady_follow()},
           {"lead_brakes", lead_brakes()},
           {"stop_and_go", stop_and_go()},
-          {"cut_in", cut_in()}};
+          {"cut_in", cut_in()},
+          {"cut_out", cut_out()}};
 }
 
 void write_trace_csv(const AccResult& result, const std::string& path) {

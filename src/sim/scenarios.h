@@ -23,6 +23,8 @@ AccScenario lead_brakes();
 AccScenario stop_and_go();
 /// A slower vehicle cuts in at a short gap.
 AccScenario cut_in();
+/// The lead exits the lane mid-run, revealing a farther next-ahead car.
+AccScenario cut_out();
 
 /// All of the above, in order.
 std::vector<NamedScenario> standard_scenarios();

@@ -10,11 +10,12 @@
 namespace advp::sim {
 namespace {
 
-TEST(ScenarioLibraryTest, FourStandardScenarios) {
+TEST(ScenarioLibraryTest, FiveStandardScenarios) {
   auto all = standard_scenarios();
-  ASSERT_EQ(all.size(), 4u);
+  ASSERT_EQ(all.size(), 5u);
   EXPECT_EQ(all[0].name, "steady_follow");
   EXPECT_EQ(all[3].name, "cut_in");
+  EXPECT_EQ(all[4].name, "cut_out");
   for (const auto& s : all) {
     EXPECT_GT(s.scenario.duration, 0.f);
     EXPECT_GT(s.scenario.initial_gap, 0.f);
@@ -31,6 +32,12 @@ TEST(ScenarioLibraryTest, CutInConfigured) {
   auto sc = cut_in();
   EXPECT_GE(sc.cut_in_at, 0.f);
   EXPECT_LT(sc.cut_in_gap, sc.initial_gap);
+}
+
+TEST(ScenarioLibraryTest, CutOutConfigured) {
+  auto sc = cut_out();
+  EXPECT_GE(sc.cut_out_at, 0.f);
+  EXPECT_GT(sc.cut_out_gap, sc.initial_gap);
 }
 
 TEST(TraceCsvTest, WritesHeaderAndRows) {

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compares a fresh bench/campaign_throughput run against the committed
+baseline.
+
+Usage: build/bench/campaign_throughput > fresh.json
+       python3 tools/check_campaign_perf.py fresh.json [BENCH_campaign.json]
+
+Two kinds of gates:
+
+Machine-independent (hard, every runner):
+- schema is "advp.campaign_bench/1";
+- identical: every lockstep trace in the identity slice is bit-identical
+  to the AccSimulator::run_batch reference — the campaign determinism
+  contract (lockstep batching must never change a result);
+- lost == 0: every scenario index reported exactly once (cohort refill
+  dropped nothing);
+- shard_merge_identical: the 2-shard coordinator's merged aggregate is
+  byte-identical to the in-process single-run aggregate;
+- cohort_fill >= FILL_MIN: refill keeps lockstep cohorts mostly live —
+  a fill near 1/cohort means the batch degenerated into stale rows.
+
+Machine-keyed throughput floor (lockstep_vs_serial = lockstep cohort-8
+scenarios/second over the 1-worker run_batch loop): stacking C lanes into
+one batch-C forward feeds the GEMM kernels C-fold wider work — enough
+parallel columns to use several cores, which is the point of lockstep. A
+single-core runner cannot show that win (batch-C im2col even costs a
+little locality), so the floor follows the recorded `max_workers`:
+
+    >= 4 workers: 2.0        (the ISSUE's gate: lockstep >= 2x run_batch)
+    2-3 workers:  1.2
+    1 worker:     0.5        (non-collapse only)
+
+On top, when fresh and baseline ran at the same multi-core width, the
+fresh ratio must stay within TOLERANCE of baseline (single-worker ratios
+are scheduler noise around 1.0 and are not baseline-compared).
+
+Exit code 1 on any failure.
+"""
+import json
+import sys
+
+TOLERANCE = 0.30  # fresh ratio may be up to 30% below baseline
+FILL_MIN = 0.50   # mean live fraction of lockstep batch rows
+FLOOR_BY_WORKERS = [(4, 2.0), (2, 1.2), (1, 0.5)]
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    # BENCH_campaign.json nests the run; the bench emits it at top level.
+    return data.get("campaign_throughput", data)
+
+
+def throughput_floor(workers):
+    for min_workers, floor in FLOOR_BY_WORKERS:
+        if workers >= min_workers:
+            return floor
+    return 0.0
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 1
+    fresh = load(sys.argv[1])
+    base = load(sys.argv[2] if len(sys.argv) > 2 else "BENCH_campaign.json")
+
+    failures = []
+    if fresh.get("schema") != "advp.campaign_bench/1":
+        failures.append(f"schema: got {fresh.get('schema')!r}, "
+                        "expected 'advp.campaign_bench/1'")
+
+    if not fresh.get("identical", False):
+        failures.append("lockstep traces are NOT bit-identical to the "
+                        "run_batch reference")
+    if fresh.get("lost", 1) != 0:
+        failures.append(f"lost {fresh.get('lost')} scenario(s) — cohort "
+                        "refill dropped work")
+    if not fresh.get("shard_merge_identical", False):
+        failures.append("2-shard merged aggregate differs from the "
+                        "single-process aggregate")
+    fill = fresh.get("cohort_fill", 0.0)
+    if fill < FILL_MIN:
+        failures.append(f"cohort_fill {fill:.3f} < {FILL_MIN} — lockstep "
+                        "batches degenerated into stale rows")
+
+    workers = int(fresh.get("max_workers", 1))
+    base_workers = int(base.get("max_workers", 1))
+    floor = throughput_floor(workers)
+    ratio = fresh.get("lockstep_vs_serial", 0.0)
+    if ratio < floor:
+        failures.append(f"lockstep_vs_serial {ratio:.3f} < {floor} floor "
+                        f"for {workers} worker(s)")
+    if workers >= 2 and workers == base_workers:
+        rel_floor = base.get("lockstep_vs_serial", 0.0) * (1 - TOLERANCE)
+        if ratio < rel_floor:
+            failures.append(f"lockstep_vs_serial {ratio:.3f} < "
+                            f"baseline-relative floor {rel_floor:.3f}")
+
+    print(f"  lockstep_vs_serial {ratio:.3f} (floor {floor}), "
+          f"cohort_fill {fill:.3f}, lost {fresh.get('lost')}, "
+          f"identical {fresh.get('identical')}, "
+          f"shard_merge_identical {fresh.get('shard_merge_identical')}")
+
+    if failures:
+        print("\nFAIL: campaign perf gate")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nOK: campaign perf gate ({workers} worker(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
