@@ -194,6 +194,7 @@ const char* counter_name(Counter c) {
     case Counter::kSimScenarios: return "sim_scenarios";
     case Counter::kCampaignBatchItems: return "campaign_batch_items";
     case Counter::kCampaignCohortRefills: return "campaign_cohort_refills";
+    case Counter::kIm2colBytesStaged: return "im2col_bytes_staged";
     case Counter::kCount: break;
   }
   return "?";

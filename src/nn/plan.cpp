@@ -549,8 +549,36 @@ void ExecPlan::Impl::run_conv(const PlanOp& op, const float* src,
   // One GEMM per batch item, written straight into the scheduled output
   // (epilogue applied) — no staging buffer, no scatter copy. Item columns
   // are disjoint and every element keeps its ascending-k FMA chain, so
-  // this is bit-identical to the eager path's wide grouped GEMM.
+  // this is bit-identical to the eager path's wide grouped GEMM. On the
+  // implicit-im2col path the GEMM packer gathers patch elements straight
+  // from the scheduled input buffer, so the per-item column matrix (the
+  // plan's largest scratch ask) is never materialized; ADVP_IM2COL=staged
+  // restores the lowering below as kill-switch and bit-identity oracle.
+  // (Plan-compiled int8 convs always carry a calibrated act_scale, so the
+  // eager path's dynamic-absmax grouping caveat cannot arise here.)
+  const bool implicit = implicit_im2col_enabled();
+  PackSource ps;
+  ps.item_stride = x_stride;
+  ps.items = 1;
+  ps.c_in = op.c;
+  ps.h = op.h;
+  ps.w = op.w;
+  ps.kernel = s.kernel;
+  ps.stride = s.stride;
+  ps.pad = s.pad;
+  ps.out_h = op.oh;
+  ps.out_w = op.ow;
   auto run_item = [&](std::size_t i) {
+    if (implicit) {
+      PackSource item_ps = ps;
+      item_ps.base = src + i * x_stride;
+      GemmExtra item_extra = extra;
+      item_extra.b_pack = &item_ps;
+      gemm(op.oc, pixels, patch, conv->weight().value.data(), patch,
+           /*trans_a=*/false, /*b=*/nullptr, pixels, /*trans_b=*/false,
+           dst + i * y_stride, pixels, /*accumulate=*/false, item_extra);
+      return;
+    }
     ScratchArena& arena = ScratchArena::local();
     ScratchArena::Frame frame(arena);
     float* cols =

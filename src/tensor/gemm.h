@@ -155,6 +155,29 @@ struct GemmCacheSlot {
   }
 };
 
+/// Implicit-im2col descriptor: the conv geometry gemm() needs to gather
+/// op(B) patch elements straight out of NCHW image storage while packing
+/// B panels, instead of reading a dense [k x n] column matrix a caller
+/// staged with im2col_lower. Element (kk, j) of op(B) decomposes exactly
+/// like the staged lowering: kk -> (c, ky, kx) within the patch, j ->
+/// (item, oy, ox) within the batch of output pixels, value = x[item][c]
+/// [oy*stride + ky - pad][ox*stride + kx - pad] (zero outside the image).
+/// Because the packer gathers the same element multiset in the same panel
+/// order, and the k-accumulation order is untouched, results are
+/// bit-identical to the staged path on every tier — the staged lowering
+/// stays available as the oracle under ADVP_IM2COL=staged.
+struct PackSource {
+  const float* base = nullptr;  ///< item 0's [c_in, h, w] plane
+  std::size_t item_stride = 0;  ///< floats between consecutive items' planes
+  int items = 1;                ///< batch items stacked into one wide op(B)
+  int c_in = 0;                 ///< input channels
+  int h = 0, w = 0;             ///< input spatial dims
+  int kernel = 0;               ///< square kernel size
+  int stride = 1;
+  int pad = 0;
+  int out_h = 0, out_w = 0;  ///< conv output dims (out_h*out_w cols per item)
+};
+
 /// Per-call override of the cache-blocking geometry (Mc rows of A per
 /// inner block, Kc accumulation depth per panel, Nc stripe width). Zero
 /// fields keep the build defaults. Blocking is a pure scheduling choice:
@@ -188,6 +211,13 @@ struct GemmExtra {
   /// Cache-blocking override for this call (plan autotuner). Zero = build
   /// defaults; ignored entirely on the small-shape naive fp32 path.
   GemmBlocking blocking;
+  /// Implicit-im2col source for op(B) (see PackSource). When set, `b` is
+  /// ignored (pass nullptr) and the pack step gathers patch elements
+  /// straight from the NCHW image. Requires trans_b == false semantics,
+  /// no b_cache, k == c_in*kernel*kernel, n == items*out_h*out_w, and —
+  /// for the reduced tiers — weights_in_a. Results are bit-identical to
+  /// staging the column matrix first.
+  const PackSource* b_pack = nullptr;
 };
 
 /// @brief True when a gemm() of this shape at tier `p` runs the blocked
@@ -226,6 +256,14 @@ void bump_weight_generation();
 /// started with ADVP_PACK_CACHE=0 (the kill-switch restores PR 3's
 /// pack-every-call behaviour) or when the test hook forces it off.
 bool pack_cache_enabled();
+
+/// @brief True when conv forwards should hand gemm() a PackSource instead
+/// of staging the column matrix with im2col_lower first. Off when the
+/// process started with ADVP_IM2COL=staged (or =0) — the kill-switch that
+/// restores the materialized-cols path — or when the test hook forces it
+/// off. The backward pass always stages regardless (gradients never ride
+/// the implicit path).
+bool implicit_im2col_enabled();
 
 // ---- packed-weight export / adoption (.advp model format) ------------------
 //
@@ -316,6 +354,10 @@ bool forcing_portable();
 /// @brief Test/bench hook overriding the ADVP_PACK_CACHE environment
 /// default: 0 forces the cache off, 1 forces it on, -1 restores the env.
 void force_pack_cache(int mode);
+
+/// @brief Test/bench hook overriding the ADVP_IM2COL environment default:
+/// 0 forces the staged path, 1 forces implicit, -1 restores the env.
+void force_im2col(int mode);
 }  // namespace gemm_detail
 
 }  // namespace advp

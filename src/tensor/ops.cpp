@@ -45,6 +45,10 @@ void im2col_lower(const float* x, int c_in, int h, int w,
                   const Conv2dSpec& s, float* cols, std::size_t cols_ld) {
   const int ho = s.out_h(h), wo = s.out_w(w);
   const int patch = c_in * s.kernel * s.kernel;
+  // Staged-lowering traffic. The implicit-GEMM conv path never runs this
+  // function, so a warm implicit forward leaves the counter at zero.
+  ADVP_OBS_COUNT(kIm2colBytesStaged, static_cast<std::uint64_t>(patch) *
+                                         ho * wo * sizeof(float));
   for (int p = 0; p < patch; ++p) {
     const int c = p / (s.kernel * s.kernel);
     const int ky = (p / s.kernel) % s.kernel;
@@ -134,6 +138,51 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
     extra.epilogue = &epi;
     extra.precision = fusion->precision;  // weights_in_a: conv W is op(A)
     extra.act_scale = fusion->act_scale;
+  }
+
+  // Implicit-GEMM route (fusion only): each item's GEMM gathers patch
+  // elements straight from x inside the panel packer and writes through
+  // the fused epilogue directly into y — no column matrix, no staging
+  // buffer, no scatter pass. Bit-identical to the staged route below by
+  // the pack contract (same element multiset, same panel order, same
+  // k-accumulation). int8 with a *dynamic* activation scale stays staged
+  // when n > 1: the staged group computes one absmax across all items'
+  // columns, and a per-item GEMM would (validly but differently) rescale.
+  const bool implicit =
+      fusion && implicit_im2col_enabled() &&
+      (fusion->precision != GemmPrecision::kInt8 ||
+       fusion->act_scale > 0.f || n == 1);
+  if (implicit) {
+    PackSource ps;
+    ps.item_stride = x_stride;
+    ps.items = 1;
+    ps.c_in = c_in;
+    ps.h = h;
+    ps.w = wd;
+    ps.kernel = spec.kernel;
+    ps.stride = spec.stride;
+    ps.pad = spec.pad;
+    ps.out_h = ho;
+    ps.out_w = wo;
+    auto run_item = [&](std::size_t i) {
+      PackSource item_ps = ps;
+      item_ps.base = x.data() + i * x_stride;
+      GemmExtra item_extra = extra;
+      item_extra.b_pack = &item_ps;
+      gemm(spec.out_channels, pixels, patch, w.data(), patch,
+           /*trans_a=*/false, /*b=*/nullptr, pixels, /*trans_b=*/false,
+           y.data() + i * y_stride, pixels, /*accumulate=*/false,
+           item_extra);
+    };
+    // Item 0 runs serially so the shared weight-cache slot warms exactly
+    // once; the remaining items' slot lookups are pure reads and fan out.
+    run_item(0);
+    if (n > 1 && max_workers() > 1 && !in_parallel_region())
+      parallel_for(1, static_cast<std::size_t>(n), run_item);
+    else
+      for (std::size_t i = 1; i < static_cast<std::size_t>(n); ++i)
+        run_item(i);
+    return y;
   }
 
   // The whole batch (in arena-budget groups) is lowered into one wide

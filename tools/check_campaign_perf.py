@@ -24,7 +24,8 @@ scenarios/second over the 1-worker run_batch loop): stacking C lanes into
 one batch-C forward feeds the GEMM kernels C-fold wider work — enough
 parallel columns to use several cores, which is the point of lockstep. A
 single-core runner cannot show that win (batch-C im2col even costs a
-little locality), so the floor follows the recorded `max_workers`:
+little locality), so the floor follows the recorded `max_workers` per
+perf_common.FLOOR_BY_WORKERS:
 
     >= 4 workers: 2.0        (the ISSUE's gate: lockstep >= 2x run_batch)
     2-3 workers:  1.2
@@ -36,34 +37,20 @@ are scheduler noise around 1.0 and are not baseline-compared).
 
 Exit code 1 on any failure.
 """
-import json
 import sys
 
-TOLERANCE = 0.30  # fresh ratio may be up to 30% below baseline
+import perf_common as pc
+
 FILL_MIN = 0.50   # mean live fraction of lockstep batch rows
-FLOOR_BY_WORKERS = [(4, 2.0), (2, 1.2), (1, 0.5)]
-
-
-def load(path):
-    with open(path, encoding="utf-8") as f:
-        data = json.load(f)
-    # BENCH_campaign.json nests the run; the bench emits it at top level.
-    return data.get("campaign_throughput", data)
-
-
-def throughput_floor(workers):
-    for min_workers, floor in FLOOR_BY_WORKERS:
-        if workers >= min_workers:
-            return floor
-    return 0.0
 
 
 def main():
     if len(sys.argv) < 2:
         print(__doc__)
         return 1
-    fresh = load(sys.argv[1])
-    base = load(sys.argv[2] if len(sys.argv) > 2 else "BENCH_campaign.json")
+    fresh = pc.load(sys.argv[1], nest_key="campaign_throughput")
+    base = pc.load(sys.argv[2] if len(sys.argv) > 2 else "BENCH_campaign.json",
+                   nest_key="campaign_throughput")
 
     failures = []
     if fresh.get("schema") != "advp.campaign_bench/1":
@@ -86,13 +73,13 @@ def main():
 
     workers = int(fresh.get("max_workers", 1))
     base_workers = int(base.get("max_workers", 1))
-    floor = throughput_floor(workers)
+    floor = pc.throughput_floor(workers)
     ratio = fresh.get("lockstep_vs_serial", 0.0)
     if ratio < floor:
         failures.append(f"lockstep_vs_serial {ratio:.3f} < {floor} floor "
                         f"for {workers} worker(s)")
     if workers >= 2 and workers == base_workers:
-        rel_floor = base.get("lockstep_vs_serial", 0.0) * (1 - TOLERANCE)
+        rel_floor = pc.baseline_floor(base.get("lockstep_vs_serial", 0.0))
         if ratio < rel_floor:
             failures.append(f"lockstep_vs_serial {ratio:.3f} < "
                             f"baseline-relative floor {rel_floor:.3f}")
@@ -102,13 +89,9 @@ def main():
           f"identical {fresh.get('identical')}, "
           f"shard_merge_identical {fresh.get('shard_merge_identical')}")
 
-    if failures:
-        print("\nFAIL: campaign perf gate")
-        for f in failures:
-            print(f"  - {f}")
-        return 1
-    print(f"\nOK: campaign perf gate ({workers} worker(s))")
-    return 0
+    return pc.report(failures,
+                     f"\nOK: campaign perf gate ({workers} worker(s))",
+                     header="FAIL: campaign perf gate")
 
 
 if __name__ == "__main__":

@@ -30,57 +30,44 @@ Two reduced-precision sections gate the inference tiers:
   single thread, calibrated activation scale) must clear INT8_SPEEDUP_MIN
   on every committed shape, baseline-relative on top.
 
-One section gates the execution-plan compiler:
+Two sections gate the convolution fast paths:
 
 - "plan": whole-model inference through a compiled nn::ExecPlan vs the
   uncompiled forward_fused walk, both warm and single-threaded.
   plan_speedup must clear PLAN_SPEEDUP_MIN on every committed model.
+- "conv": implicit-GEMM convolution (pack_B gathers patches straight
+  from the NCHW image) vs the staged im2col + gemm path, both warm and
+  single-threaded. conv_implicit_speedup must clear CONV_IMPLICIT_MIN on
+  every committed conv shape, baseline-relative on top.
 
 Also asserts `identical: true` for every entry: the blocked kernel, the
 fused epilogue, the warm-cache path, both reduced-precision tiers
-(SIMD vs portable micro-kernel), and the compiled plan (vs forward_fused,
-autotuned and default blocking alike) must all stay bit-identical to
-their reference passes, on any runner. Exit code 1 on any failure.
+(SIMD vs portable micro-kernel), the compiled plan (vs forward_fused,
+autotuned and default blocking alike), and the implicit-im2col packer
+(vs the staged column matrix) must all stay bit-identical to their
+reference passes, on any runner. Exit code 1 on any failure.
 """
-import json
 import sys
 
-TOLERANCE = 0.30  # fresh ratio may be up to 30% below baseline
+import perf_common as pc
+
+TOLERANCE = pc.TOLERANCE
 FUSED_MIN = 1.15  # fused epilogue must beat separate passes by >= 15%
 PACK_REDUCTION_MIN = 0.80  # warm calls must skip >= 80% of packing bytes
 BF16_PACK_MAX = 0.55  # bf16 panels must stay <= 55% of fp32 pack bytes
 INT8_SPEEDUP_MIN = 1.50  # calibrated int8 must beat warm fp32 by >= 50%
 PLAN_SPEEDUP_MIN = 1.10  # compiled plan must beat forward_fused by >= 10%
+CONV_IMPLICIT_MIN = 1.15  # implicit im2col must beat staged by >= 15%
+
+SECTIONS = ("shapes", "fused", "warm_cache", "bf16", "int8", "plan", "conv")
 
 
 def load_sections(path):
-    with open(path, encoding="utf-8") as f:
-        data = json.load(f)
-    # BENCH_gemm.json nests the sections; micro_gemm emits them at top level.
-    root = data.get("micro_gemm", data)
+    root = pc.load(path, nest_key="micro_gemm")
     return {
         key: {s["name"]: s for s in root.get(key, [])}
-        for key in ("shapes", "fused", "warm_cache", "bf16", "int8", "plan")
+        for key in SECTIONS
     }
-
-
-def check_identical(name, entry, what):
-    if not entry.get("identical", False):
-        print(f"FAIL {name}: {what} not bit-identical to reference")
-        return 1
-    return 0
-
-
-def check_ratio(name, fresh_val, floor, label):
-    status = "ok" if fresh_val >= floor else "FAIL"
-    print(f"{status:4} {name}: {label} {fresh_val:.2f} (floor {floor:.2f})")
-    return 1 if status == "FAIL" else 0
-
-
-def check_ceiling(name, fresh_val, ceiling, label):
-    status = "ok" if fresh_val <= ceiling else "FAIL"
-    print(f"{status:4} {name}: {label} {fresh_val:.3f} (ceiling {ceiling:.2f})")
-    return 1 if status == "FAIL" else 0
 
 
 def main():
@@ -101,6 +88,7 @@ def main():
         ("bf16", "pack_ratio", None, "bf16 tier"),
         ("int8", "speedup", INT8_SPEEDUP_MIN, "int8 tier"),
         ("plan", "plan_speedup", PLAN_SPEEDUP_MIN, "compiled plan"),
+        ("conv", "conv_implicit_speedup", CONV_IMPLICIT_MIN, "implicit im2col"),
     ):
         for name, b in sorted(base[section].items()):
             f = fresh[section].get(name)
@@ -108,22 +96,20 @@ def main():
                 print(f"FAIL {name}: missing from fresh run")
                 failures += 1
                 continue
-            if check_identical(name, f, what):
+            if pc.check_identical(name, f, what):
                 failures += 1
                 continue
             if section == "bf16":
                 # Byte counts are deterministic; the ceiling is absolute.
-                failures += check_ceiling(name, f[ratio_key], BF16_PACK_MAX,
-                                          ratio_key)
+                failures += pc.check_ceiling(name, f[ratio_key], BF16_PACK_MAX,
+                                             ratio_key)
                 continue
             if section == "warm_cache":
                 # Byte counts are deterministic; the floor is absolute.
                 floor = fixed_min
             else:
-                floor = b[ratio_key] * (1.0 - TOLERANCE)
-                if fixed_min is not None:
-                    floor = max(fixed_min, floor)
-            failures += check_ratio(name, f[ratio_key], floor, ratio_key)
+                floor = pc.baseline_floor(b[ratio_key], fixed_min)
+            failures += pc.check_ratio(name, f[ratio_key], floor, ratio_key)
 
     if failures:
         print(f"{failures} entry(ies) regressed beyond tolerance")

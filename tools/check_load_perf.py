@@ -29,16 +29,16 @@ cache counters (wall-clock fields are informational only):
 
 Exit code 1 on any violation.
 """
-import json
 import sys
+
+import perf_common as pc
 
 
 def main():
     if len(sys.argv) != 2:
         print(__doc__)
         return 2
-    with open(sys.argv[1], encoding="utf-8") as f:
-        data = json.load(f)
+    data = pc.load(sys.argv[1])
 
     failures = []
     tiers = data.get("tiers", [])
@@ -69,12 +69,10 @@ def main():
         if tier.get("cold_first_pack_bytes", 0) <= steady:
             fail("cold first forward staged no more than steady state")
 
-    if failures:
-        for f in failures:
-            print(f"FAIL {f}")
-        return 1
-    print(f"ok: {len(tiers)} tiers, zero warm-up pack work after .advp load")
-    return 0
+    return pc.report(
+        failures,
+        f"ok: {len(tiers)} tiers, zero warm-up pack work after .advp load",
+        item_prefix="FAIL ")
 
 
 if __name__ == "__main__":

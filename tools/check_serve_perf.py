@@ -22,7 +22,8 @@ single-thread serial loop): coalescing turns eight batch-1 forwards into
 one batch-8 forward whose GEMMs have 8x the columns — enough parallel work
 to use several cores, which is the whole point of dynamic batching. A
 single-core runner cannot show that win (whole-batch im2col even hurts
-locality a little), so the floor follows the recorded `max_workers`:
+locality a little), so the floor follows the recorded `max_workers` per
+perf_common.FLOOR_BY_WORKERS:
 
     >= 4 workers: 2.0        (the ISSUE's gate: batched >= 2x serial)
     2-3 workers:  1.2
@@ -34,35 +35,21 @@ are scheduler noise around 1.0 and are not baseline-compared).
 
 Exit code 1 on any failure.
 """
-import json
 import sys
 
-TOLERANCE = 0.30      # fresh ratio may be up to 30% below baseline
+import perf_common as pc
+
 COALESCE_MIN = 2.0    # mean batch size under closed-loop 8-client load
 ROUTER_MIN = 0.30     # batch-1 server must keep >= 30% of direct rps
-FLOOR_BY_WORKERS = [(4, 2.0), (2, 1.2), (1, 0.5)]
-
-
-def load(path):
-    with open(path, encoding="utf-8") as f:
-        data = json.load(f)
-    # BENCH_serve.json nests the run; the bench emits it at top level.
-    return data.get("serve_throughput", data)
-
-
-def throughput_floor(workers):
-    for min_workers, floor in FLOOR_BY_WORKERS:
-        if workers >= min_workers:
-            return floor
-    return 0.0
 
 
 def main():
     if len(sys.argv) < 2:
         print(__doc__)
         return 1
-    fresh = load(sys.argv[1])
-    base = load(sys.argv[2] if len(sys.argv) > 2 else "BENCH_serve.json")
+    fresh = pc.load(sys.argv[1], nest_key="serve_throughput")
+    base = pc.load(sys.argv[2] if len(sys.argv) > 2 else "BENCH_serve.json",
+                   nest_key="serve_throughput")
 
     failures = []
     if fresh.get("schema") != "advp.serve_bench/1":
@@ -73,7 +60,7 @@ def main():
     base_cfgs = {c["name"]: c for c in base.get("configs", [])}
     workers = int(fresh.get("max_workers", 1))
     base_workers = int(base.get("max_workers", 1))
-    floor = throughput_floor(workers)
+    floor = pc.throughput_floor(workers)
 
     for name, b in base_cfgs.items():
         c = fresh_cfgs.get(name)
@@ -100,7 +87,7 @@ def main():
             failures.append(f"{name}: batched_vs_serial {ratio:.3f} < "
                             f"{floor} floor for {workers} worker(s)")
         if workers >= 2 and workers == base_workers:
-            rel_floor = b.get("batched_vs_serial", 0.0) * (1 - TOLERANCE)
+            rel_floor = pc.baseline_floor(b.get("batched_vs_serial", 0.0))
             if ratio < rel_floor:
                 failures.append(f"{name}: batched_vs_serial {ratio:.3f} "
                                 f"< baseline-relative floor {rel_floor:.3f}")
@@ -108,14 +95,10 @@ def main():
               f"coalesce {coalesce:.2f}, lost {c.get('lost')}, "
               f"identical {c.get('identical')}")
 
-    if failures:
-        print("\nFAIL: serve perf gate")
-        for f in failures:
-            print(f"  - {f}")
-        return 1
-    print(f"\nOK: serve perf gate ({len(base_cfgs)} configs, "
-          f"{workers} worker(s))")
-    return 0
+    return pc.report(failures,
+                     f"\nOK: serve perf gate ({len(base_cfgs)} configs, "
+                     f"{workers} worker(s))",
+                     header="FAIL: serve perf gate")
 
 
 if __name__ == "__main__":
